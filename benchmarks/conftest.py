@@ -1,0 +1,30 @@
+"""Benchmark-harness helpers.
+
+Every benchmark regenerates one of the paper's tables or figures: it
+runs the relevant experiment cells once (``benchmark.pedantic`` with a
+single round — these are macro-benchmarks, not micro-timings), prints
+the series in the paper's layout, and writes the rendering to
+``benchmarks/output/`` so EXPERIMENTS.md can reference it.
+"""
+
+import pathlib
+import sys
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+OUTPUT_DIR = pathlib.Path(__file__).resolve().parent / "output"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a figure/table rendering and persist it to the output dir."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a macro-benchmark exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

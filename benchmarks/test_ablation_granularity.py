@@ -1,0 +1,132 @@
+"""Ablation — repartition-transaction granularity (paper §3.1).
+
+The paper argues for a middle ground between two extremes:
+
+* **one giant transaction** holds every lock until commit, maximising
+  lock contention with normal transactions;
+* **one transaction per operation** multiplies per-transaction overhead
+  (begin/commit work, a 2PC round per transaction).
+
+This benchmark deploys the same plan three ways on the same workload —
+Algorithm 1's per-benefiting-type grouping, one-giant, and per-op — and
+compares deployment time, normal-transaction failures, and latency.
+A small per-transaction overhead is enabled so the per-op extreme pays
+its bookkeeping cost, as it would on the real system.
+"""
+
+from dataclasses import replace
+
+from repro.core.ranking import RepartitionTransactionSpec
+from repro.experiments import bench_scale, run_experiment
+from repro.metrics import mean, series
+
+from .conftest import emit, run_once
+
+REP_OP_COST = 2.0
+
+
+def one_giant(specs):
+    """All operations in a single repartition transaction."""
+    ops = [op for spec in specs for op in spec.ops]
+    if not ops:
+        return []
+    return [
+        RepartitionTransactionSpec(
+            ops=ops,
+            type_id=-1,
+            benefit=sum(spec.benefit for spec in specs),
+            cost=REP_OP_COST * len(ops),
+        )
+    ]
+
+
+def per_op(specs):
+    """One repartition transaction per operation."""
+    out = []
+    for spec in specs:
+        for op in spec.ops:
+            out.append(
+                RepartitionTransactionSpec(
+                    ops=[op],
+                    type_id=-1,
+                    benefit=op.benefit,
+                    cost=REP_OP_COST,
+                )
+            )
+    return out
+
+
+def _config():
+    config = bench_scale(
+        scheduler="ApplyAll",
+        distribution="zipf",
+        load="low",
+        alpha=0.6,
+        measure_intervals=30,
+        warmup_intervals=5,
+    )
+    return replace(
+        config,
+        runtime=replace(
+            config.runtime, per_txn_overhead_units=0.5
+        ),
+    )
+
+
+def _run_all():
+    config = _config()
+    results = {}
+    for label, transform in (
+        ("per-type (Algorithm 1)", None),
+        ("one-giant", one_giant),
+        ("per-op", per_op),
+    ):
+        results[label] = run_experiment(config, spec_transform=transform)
+    return results
+
+
+def test_granularity_tradeoff(benchmark):
+    results = run_once(benchmark, _run_all)
+
+    lines = ["Ablation: repartition transaction granularity",
+             f"{'grouping':<24} {'done@':>6} {'final':>6} "
+             f"{'fail':>7} {'lat(ms)':>9}"]
+    stats = {}
+    for label, result in results.items():
+        done = result.completion_interval
+        final = result.measured[-1].rep_rate
+        fail = mean(series(result.measured, "failure_rate"))
+        latency = mean(series(result.measured, "mean_latency_ms"))
+        stats[label] = (done, final, fail, latency)
+        done_text = str(done) if done is not None else "-"
+        lines.append(
+            f"{label:<24} {done_text:>6} {final:>6.2f} "
+            f"{fail:>7.3f} {latency:>9.0f}"
+        )
+    emit("ablation_granularity", "\n".join(lines))
+
+    per_type = results["per-type (Algorithm 1)"]
+    giant = results["one-giant"]
+    per_operation = results["per-op"]
+
+    # Algorithm 1's grouping deploys everything.
+    assert per_type.measured[-1].rep_rate == 1.0
+    assert per_operation.measured[-1].rep_rate >= 0.95
+
+    # The per-op extreme pays the most transaction overhead: its
+    # deployment takes at least as long as Algorithm 1's grouping.
+    if per_operation.completion_interval is not None:
+        assert (
+            per_type.completion_interval
+            <= per_operation.completion_interval
+        )
+
+    # The one-giant extreme monopolises locks: either it finishes later
+    # than the per-type grouping, or — under concurrent traffic — it
+    # cannot commit at all (it keeps aborting on lock waits), and either
+    # way it inflicts the worst failure rate on normal transactions.
+    giant_fail = mean(series(giant.measured, "failure_rate"))
+    per_type_fail = mean(series(per_type.measured, "failure_rate"))
+    assert giant_fail > per_type_fail
+    if giant.completion_interval is not None:
+        assert giant.completion_interval >= per_type.completion_interval

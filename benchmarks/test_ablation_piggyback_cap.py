@@ -1,0 +1,68 @@
+"""Ablation — the piggyback cap (paper §3.4).
+
+"If too many repartition operations piggyback onto a normal
+transaction, then the system throughput will be decreased due to
+unnecessary aborts caused by the failure of the piggybacked repartition
+operations.  Therefore, we need to limit the maximum number of
+repartition operations that can piggyback onto each normal transaction."
+
+With a small per-op failure probability injected, this benchmark sweeps
+the cap: a cap below the plan's ops-per-type disables piggybacking
+entirely (deployment stalls), while an unbounded cap exposes every
+carrier to the injected failures.
+"""
+
+from dataclasses import replace
+
+from repro.experiments import bench_scale, run_experiment
+from repro.experiments.config import SchedulerConfig
+from repro.metrics import mean, series
+
+from .conftest import emit, run_once
+
+
+def _config(cap):
+    config = bench_scale(
+        scheduler="Piggyback",
+        distribution="zipf",
+        load="high",
+        alpha=1.0,
+        measure_intervals=25,
+        warmup_intervals=5,
+    )
+    return replace(
+        config,
+        runtime=replace(config.runtime, rep_op_failure_probability=0.02),
+        scheduling=SchedulerConfig(max_ops_per_carrier=cap),
+    )
+
+
+def _run_sweep():
+    return {cap: run_experiment(_config(cap)) for cap in (2, 4, 10, 50)}
+
+
+def test_piggyback_cap_tradeoff(benchmark):
+    results = run_once(benchmark, _run_sweep)
+
+    lines = ["Ablation: max piggybacked ops per carrier "
+             "(Piggyback, Zipf/high, 2% op failure)",
+             f"{'cap':>5} {'rep_rate':>9} {'fail':>7} {'thr(mean)':>10}"]
+    for cap, result in results.items():
+        lines.append(
+            f"{cap:>5} {result.measured[-1].rep_rate:>9.3f} "
+            f"{mean(series(result.measured, 'failure_rate')):>7.3f} "
+            f"{mean(series(result.measured, 'throughput_txn_per_min')):>10.0f}"
+        )
+    emit("ablation_piggyback_cap", "\n".join(lines))
+
+    # Cap below the plan's ops-per-type (4 here): piggybacking is inert.
+    assert results[2].measured[-1].rep_rate < 0.1
+    # Any permissive cap deploys the bulk of the plan.
+    assert results[4].measured[-1].rep_rate > 0.7
+    assert results[10].measured[-1].rep_rate > 0.7
+    # Deploying via carriers costs some extra failures vs. staying inert
+    # under injected op faults — the trade-off the cap controls.
+    inert_failure = mean(series(results[2].measured, "failure_rate")[:10])
+    active_failure = mean(series(results[50].measured, "failure_rate")[:10])
+    assert active_failure > 0.0
+    assert results[50].measured[-1].rep_rate > results[2].measured[-1].rep_rate

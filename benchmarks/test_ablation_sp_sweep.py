@@ -1,0 +1,62 @@
+"""Ablation — setpoint sensitivity (paper §4.2).
+
+"In comparing the results in the previous experiments, a higher SP here
+is actually beneficial when the number of repartitioning transactions
+is relatively small and Feedback has the chance to finish them in a
+good time."
+
+This sweep runs Feedback on Uniform/high at α = 60% (a small plan) with
+SP from 1.02 to 1.50 and reports deployment speed vs interference.
+"""
+
+from dataclasses import replace
+
+from repro.experiments import bench_scale, run_experiment
+from repro.experiments.config import SchedulerConfig
+from repro.metrics import mean, series
+
+from .conftest import emit, run_once
+
+
+def _config(setpoint):
+    config = bench_scale(
+        scheduler="Feedback",
+        distribution="uniform",
+        load="high",
+        alpha=0.6,
+        measure_intervals=35,
+        warmup_intervals=5,
+    )
+    return replace(config, scheduling=SchedulerConfig(setpoint=setpoint))
+
+
+def _run_sweep():
+    return {
+        sp: run_experiment(_config(sp))
+        for sp in (1.02, 1.05, 1.25, 1.50)
+    }
+
+
+def test_setpoint_sweep(benchmark):
+    results = run_once(benchmark, _run_sweep)
+
+    lines = ["Ablation: SP sensitivity (Feedback, Uniform/high, alpha=60%)",
+             f"{'SP':>6} {'done@':>6} {'rep_rate':>9} {'thr(mean)':>10} "
+             f"{'fail':>7}"]
+    final = {}
+    for sp, result in results.items():
+        done = result.completion_interval
+        final[sp] = result.measured[-1].rep_rate
+        lines.append(
+            f"{sp:>6.2f} {str(done) if done is not None else '-':>6} "
+            f"{final[sp]:>9.3f} "
+            f"{mean(series(result.measured, 'throughput_txn_per_min')):>10.0f} "
+            f"{mean(series(result.measured, 'failure_rate')):>7.3f}"
+        )
+    emit("ablation_sp_sweep", "\n".join(lines))
+
+    # A larger repartition budget deploys at least as much of the plan.
+    assert final[1.02] <= final[1.25] + 1e-9
+    assert final[1.05] <= final[1.50] + 1e-9
+    # The paper's SP=1.25 deploys (nearly) the whole small plan in time.
+    assert final[1.25] >= 0.9

@@ -1,0 +1,37 @@
+"""Figure 3 — transaction failure rate over time (α = 100%).
+
+Four panels (Zipf/High, Uniform/High, Zipf/Low, Uniform/Low), five
+scheduler lines each.  Expected shapes (paper §4.2-4.3):
+
+* AfterAll sustains a high failure rate under high load (it never
+  relieves the overload);
+* Piggyback and Hybrid keep failures low throughout under high load;
+* ApplyAll spikes during its stall, then drops to ~0;
+* under Uniform/Low, Piggyback's failures outlast Hybrid's (few
+  carriers, longer piggybacked transactions).
+"""
+
+from repro.experiments import figure3_failure_rate
+from repro.metrics import mean, series
+
+from .conftest import emit, run_once
+
+
+def test_figure3(benchmark):
+    result = run_once(benchmark, figure3_failure_rate)
+    emit("figure3_failure_rate", result.render(every=5))
+
+    def tail_failure(panel, scheduler):
+        records = result.panels[panel].records(scheduler, 1.0)
+        return mean(series(records, "failure_rate")[-10:])
+
+    # Shape assertions from the paper.
+    assert tail_failure("Zipf/High", "AfterAll") > 0.15
+    assert tail_failure("Zipf/High", "Piggyback") < tail_failure(
+        "Zipf/High", "AfterAll"
+    )
+    assert tail_failure("Zipf/High", "Hybrid") < tail_failure(
+        "Zipf/High", "AfterAll"
+    )
+    assert tail_failure("Zipf/High", "ApplyAll") < 0.15  # post-stall calm
+    assert tail_failure("Uniform/Low", "Hybrid") < 0.05

@@ -1,0 +1,57 @@
+"""Figure 4 — Zipf workload under HIGH load (RepRate/Throughput/Latency).
+
+3x3 grid: the three metrics × α ∈ {100%, 60%, 20%}.  Expected shapes:
+
+* ApplyAll deploys fastest but collapses throughput during the stall,
+  with latency impact outlasting the repartitioning (queue backlog);
+* AfterAll makes no progress (no idle time) and stays degraded;
+* Feedback makes steady partial progress;
+* Piggyback/Hybrid deploy almost as fast as ApplyAll with no collapse,
+  and beat it outright at lower α.
+"""
+
+from repro.experiments import figure4_zipf_high
+from repro.metrics import mean, series
+
+from .conftest import emit, run_once
+
+
+def test_figure4(benchmark):
+    result = run_once(benchmark, figure4_zipf_high)
+    emit("figure4_zipf_high", result.render(every=5))
+
+    def final_rep_rate(scheduler, alpha):
+        return result.records(scheduler, alpha)[-1].rep_rate
+
+    def throughput(scheduler, alpha):
+        return series(
+            result.records(scheduler, alpha), "throughput_txn_per_min"
+        )
+
+    for alpha in (1.0, 0.6, 0.2):
+        # ApplyAll always completes, fastest or tied.
+        assert final_rep_rate("ApplyAll", alpha) == 1.0
+        # AfterAll starves under high load.
+        assert final_rep_rate("AfterAll", alpha) < 0.2
+        # Hybrid deploys the bulk of the plan without a stall.
+        assert final_rep_rate("Hybrid", alpha) > 0.8
+        assert min(throughput("Hybrid", alpha)[1:]) > 0
+        # ApplyAll's signature throughput collapse during the stall:
+        # the worst early interval falls far below the recovered tail
+        # (a smaller alpha means a shorter stall, not a gentler one).
+        apply = throughput("ApplyAll", alpha)
+        tail = mean(apply[-10:])
+        assert min(apply[:10]) < 0.25 * tail
+
+    # Feedback outpaces AfterAll but trails Piggyback under Zipf/high.
+    assert (
+        final_rep_rate("AfterAll", 1.0)
+        < final_rep_rate("Feedback", 1.0)
+        < final_rep_rate("Piggyback", 1.0)
+    )
+
+    # Tail throughput: every deploying strategy beats AfterAll.
+    for scheduler in ("ApplyAll", "Piggyback", "Hybrid"):
+        assert mean(throughput(scheduler, 1.0)[-10:]) > mean(
+            throughput("AfterAll", 1.0)[-10:]
+        )

@@ -1,0 +1,56 @@
+"""Figure 5 — Uniform workload under HIGH load.
+
+The paper's observations for this grid:
+
+* ApplyAll finishes in a number of intervals proportional to α
+  (20/12/4 in the paper);
+* AfterAll can barely execute anything;
+* Feedback runs with SP = 1.25 here: at α = 100% it cannot stop the
+  queue from growing, but at α = 60% and 20% the smaller plan finishes
+  within the run and the system recovers;
+* Piggyback and Hybrid track ApplyAll's speed without its collapse.
+"""
+
+from repro.experiments import figure5_uniform_high
+from repro.metrics import series
+
+from .conftest import emit, run_once
+
+
+def test_figure5(benchmark):
+    result = run_once(benchmark, figure5_uniform_high)
+    emit("figure5_uniform_high", result.render(every=5))
+
+    def completion_interval(scheduler, alpha):
+        rep = series(result.records(scheduler, alpha), "rep_rate")
+        for i, value in enumerate(rep):
+            if value >= 1.0:
+                return i
+        return None
+
+    # ApplyAll completion time scales with alpha.
+    apply_done = {
+        alpha: completion_interval("ApplyAll", alpha)
+        for alpha in (1.0, 0.6, 0.2)
+    }
+    assert all(done is not None for done in apply_done.values())
+    assert apply_done[0.2] < apply_done[0.6] < apply_done[1.0]
+
+    # AfterAll starves at every alpha.
+    for alpha in (1.0, 0.6, 0.2):
+        assert result.records("AfterAll", alpha)[-1].rep_rate < 0.2
+
+    # Feedback (SP=1.25): finishes for smaller plans, not for alpha=1.
+    assert completion_interval("Feedback", 0.2) is not None
+    feedback_small = completion_interval("Feedback", 0.6)
+    feedback_full = completion_interval("Feedback", 1.0)
+    if feedback_full is not None and feedback_small is not None:
+        assert feedback_small <= feedback_full
+
+    # Piggyback/Hybrid: fast deployment, no stall.
+    for scheduler in ("Piggyback", "Hybrid"):
+        assert result.records(scheduler, 1.0)[-1].rep_rate > 0.9
+        throughput = series(
+            result.records(scheduler, 1.0), "throughput_txn_per_min"
+        )
+        assert min(throughput[1:]) > 0

@@ -1,0 +1,58 @@
+"""Figure 6 — Zipf workload under LOW load.
+
+The paper's observations:
+
+* the system now has idle time, so AfterAll makes real progress;
+* Feedback adds repartition transactions beyond the idle-time baseline
+  and deploys faster than AfterAll, at a small latency premium;
+* Hybrid finishes faster than Feedback (carriers + idle capacity) and
+  only ApplyAll beats it;
+* ApplyAll still stalls normal processing while it runs.
+"""
+
+from repro.experiments import figure6_zipf_low
+from repro.metrics import mean, series
+
+from .conftest import emit, run_once
+
+
+def test_figure6(benchmark):
+    result = run_once(benchmark, figure6_zipf_low)
+    emit("figure6_zipf_low", result.render(every=5))
+
+    def rep_rate_curve(scheduler, alpha=1.0):
+        return series(result.records(scheduler, alpha), "rep_rate")
+
+    def done_at(scheduler, alpha=1.0):
+        for i, value in enumerate(rep_rate_curve(scheduler, alpha)):
+            if value >= 1.0:
+                return i
+        return None
+
+    # Idle time lets AfterAll progress substantially now.
+    assert rep_rate_curve("AfterAll")[-1] > 0.5
+
+    # Feedback at least matches AfterAll interval by interval.
+    feedback = rep_rate_curve("Feedback")
+    afterall = rep_rate_curve("AfterAll")
+    assert mean(feedback) >= mean(afterall)
+
+    # Hybrid completes about as fast as ApplyAll (the paper: only
+    # ApplyAll is faster; at this scale they can land within a couple
+    # of intervals of each other).
+    hybrid_done = done_at("Hybrid")
+    apply_done = done_at("ApplyAll")
+    assert hybrid_done is not None and apply_done is not None
+    assert apply_done <= hybrid_done + 2
+    feedback_done = done_at("Feedback")
+    if feedback_done is not None:
+        assert hybrid_done <= feedback_done
+
+    # ApplyAll's stall: throughput hits zero early in the run.
+    apply_throughput = series(
+        result.records("ApplyAll", 1.0), "throughput_txn_per_min"
+    )
+    assert min(apply_throughput[:apply_done or 10]) == 0.0
+
+    # Piggyback does not finish (cold Zipf types rarely arrive).
+    assert rep_rate_curve("Piggyback")[-1] < 1.0

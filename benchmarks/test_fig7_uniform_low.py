@@ -1,0 +1,56 @@
+"""Figure 7 — Uniform workload under LOW load.
+
+The paper's observations — the panel where Piggyback breaks down:
+
+* with uniform frequencies and a low arrival rate there are few
+  transactions to piggyback on, so Piggyback takes much longer to
+  finish than Hybrid, and its interference (longer carriers) persists;
+* Hybrid exploits the idle capacity Piggyback cannot and finishes
+  quickly;
+* AfterAll and Feedback progress steadily off idle time.
+"""
+
+from repro.experiments import figure7_uniform_low
+from repro.metrics import mean, series
+
+from .conftest import emit, run_once
+
+
+def test_figure7(benchmark):
+    result = run_once(benchmark, figure7_uniform_low)
+    emit("figure7_uniform_low", result.render(every=5))
+
+    def done_at(scheduler, alpha=1.0):
+        curve = series(result.records(scheduler, alpha), "rep_rate")
+        for i, value in enumerate(curve):
+            if value >= 1.0:
+                return i
+        return None
+
+    hybrid_done = done_at("Hybrid")
+    piggy_done = done_at("Piggyback")
+    assert hybrid_done is not None
+    # Hybrid finishes well before Piggyback (or Piggyback never does).
+    if piggy_done is not None:
+        assert hybrid_done < piggy_done
+    else:
+        assert (
+            result.records("Piggyback", 1.0)[-1].rep_rate
+            <= result.records("Hybrid", 1.0)[-1].rep_rate
+        )
+
+    # While deployment is in flight, piggybacked carriers run longer
+    # than plain transactions: Piggyback's early latency exceeds
+    # AfterAll's gentle baseline (the paper's §4.3 observation).
+    piggy_early = mean(
+        series(result.records("Piggyback", 1.0), "mean_latency_ms")[:6]
+    )
+    afterall_early = mean(
+        series(result.records("AfterAll", 1.0), "mean_latency_ms")[:6]
+    )
+    assert piggy_early > afterall_early
+
+    # Idle-time strategies make steady progress at every alpha.
+    for alpha in (1.0, 0.6, 0.2):
+        assert result.records("AfterAll", alpha)[-1].rep_rate > 0.5
+        assert result.records("Feedback", alpha)[-1].rep_rate > 0.5

@@ -1,0 +1,78 @@
+"""Micro-benchmarks of the hot components (kernel, locks, routing).
+
+Unlike the figure/table macro-benchmarks, these time the substrate
+itself: useful to catch performance regressions in the event loop, lock
+manager, and router that would silently inflate every experiment.
+"""
+
+import random
+
+from repro.locking import DeadlockDetector, LockManager, LockMode
+from repro.routing import PartitionMap, QueryRouter
+from repro.sim import Environment
+from repro.sim.random import ZipfSampler
+
+
+def test_kernel_event_throughput(benchmark):
+    """Schedule-and-run 20k timeout events."""
+
+    def run():
+        env = Environment()
+        counter = []
+
+        def proc(delay):
+            yield env.timeout(delay)
+            counter.append(1)
+
+        for i in range(20_000):
+            env.process(proc((i * 7) % 100))
+        env.run()
+        return len(counter)
+
+    assert benchmark(run) == 20_000
+
+
+def test_lock_manager_throughput(benchmark):
+    """Acquire/release 10k uncontended + contended locks."""
+
+    def run():
+        env = Environment()
+        manager = LockManager(env, DeadlockDetector())
+        for i in range(5_000):
+            manager.acquire(i % 50, i % 200, LockMode.EXCLUSIVE)
+            manager.release_all(i % 50)
+        for i in range(5_000):
+            event = manager.acquire(1, i % 100, LockMode.SHARED)
+            event.defused = True
+        manager.release_all(1)
+        return manager.grants
+
+    assert benchmark(run) > 0
+
+
+def test_router_throughput(benchmark):
+    """Route 50k reads through a 100k-tuple lookup table."""
+    pmap = PartitionMap()
+    for key in range(100_000):
+        pmap.assign(key, key % 5)
+    router = QueryRouter(pmap)
+    rng = random.Random(0)
+    keys = [rng.randrange(100_000) for _ in range(50_000)]
+
+    def run():
+        total = 0
+        for key in keys:
+            total += router.route_read(key)
+        return total
+
+    benchmark(run)
+
+
+def test_zipf_sampling_throughput(benchmark):
+    """Draw 100k samples from the paper-sized Zipf population."""
+    sampler = ZipfSampler(23_457, 1.16, random.Random(0))
+
+    def run():
+        return sum(sampler.sample() for _ in range(100_000))
+
+    benchmark(run)

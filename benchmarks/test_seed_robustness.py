@@ -1,0 +1,70 @@
+"""Seed robustness — the headline comparison across random seeds.
+
+The paper reports single runs; this benchmark checks that the headline
+qualitative result (Hybrid deploys the plan under high load with far
+less disruption than the baselines) is not a seed artefact: it sweeps
+three seeds per scheduler on Zipf/high and compares the aggregated
+metrics.
+"""
+
+from repro.experiments import (
+    bench_scale,
+    format_sweep_comparison,
+    sweep_seeds,
+)
+
+from .conftest import emit, run_once
+
+SEEDS = (0, 1, 2)
+
+
+def _run_sweeps():
+    sweeps = {}
+    for scheduler in ("AfterAll", "ApplyAll", "Hybrid"):
+        config = bench_scale(
+            scheduler=scheduler,
+            distribution="zipf",
+            load="high",
+            alpha=1.0,
+            measure_intervals=25,
+            warmup_intervals=5,
+        )
+        sweeps[scheduler] = sweep_seeds(config, SEEDS)
+    return sweeps
+
+
+def test_headline_result_robust_across_seeds(benchmark):
+    sweeps = run_once(benchmark, _run_sweeps)
+    emit(
+        "seed_robustness",
+        "Seed robustness (Zipf/high, alpha=100%, seeds 0-2)\n"
+        + format_sweep_comparison(sweeps),
+    )
+
+    hybrid = sweeps["Hybrid"]
+    afterall = sweeps["AfterAll"]
+    applyall = sweeps["ApplyAll"]
+
+    # In every seed, Hybrid deploys most of the plan; AfterAll nothing.
+    for result in hybrid.results:
+        assert result.measured[-1].rep_rate > 0.7
+    for result in afterall.results:
+        assert result.measured[-1].rep_rate < 0.2
+
+    # Aggregates: Hybrid's failure rate beats AfterAll's by a wide
+    # margin even at mean - std vs mean + std.
+    hybrid_fail = hybrid.stats("mean_failure_rate")
+    afterall_fail = afterall.stats("mean_failure_rate")
+    assert hybrid_fail.mean + hybrid_fail.std < (
+        afterall_fail.mean - afterall_fail.std
+    )
+
+    # ApplyAll's whole-run failure rate is the worst of the three in
+    # every seed (its stall expires a whole queue's worth of clients).
+    for apply_result, hybrid_result in zip(
+        applyall.results, hybrid.results
+    ):
+        assert (
+            apply_result.summary["mean_failure_rate"]
+            > hybrid_result.summary["mean_failure_rate"]
+        )

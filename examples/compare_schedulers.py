@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Compare all five SOAP scheduling strategies on one workload.
+
+Reproduces one column of the paper's Figure 4 (Zipf, high load,
+α = 100%): runs ApplyAll, AfterAll, Feedback, Piggyback, and Hybrid on
+identical workloads (same seeds, same arrival sequence) and prints the
+RepRate / throughput / latency / failure-rate series side by side.
+
+Run:  python examples/compare_schedulers.py [zipf|uniform] [high|low]
+"""
+
+import sys
+
+from repro.experiments import SCHEDULER_NAMES, bench_scale, run_experiment
+from repro.metrics import format_comparison_table, mean, series
+
+
+def main() -> None:
+    distribution = sys.argv[1] if len(sys.argv) > 1 else "zipf"
+    load = sys.argv[2] if len(sys.argv) > 2 else "high"
+
+    results = {}
+    for scheduler in SCHEDULER_NAMES:
+        print(f"running {scheduler} on {distribution}/{load} ...")
+        results[scheduler] = run_experiment(
+            bench_scale(
+                scheduler=scheduler,
+                distribution=distribution,
+                load=load,
+                alpha=1.0,
+                measure_intervals=40,
+                warmup_intervals=5,
+            )
+        )
+
+    records = {name: r.measured for name, r in results.items()}
+    for metric, label in (
+        ("rep_rate", "RepRate"),
+        ("throughput_txn_per_min", "Throughput (txn/min)"),
+        ("mean_latency_ms", "Latency (ms)"),
+        ("failure_rate", "Failure rate"),
+    ):
+        print()
+        print(
+            format_comparison_table(
+                records,
+                metric,
+                title=f"--- {label} ({distribution}/{load}, alpha=100%) ---",
+                every=5,
+            )
+        )
+
+    print("\n--- completion + interference summary ---")
+    for name, result in results.items():
+        done = result.completion_interval
+        done_text = f"interval {done}" if done is not None else (
+            f"{result.measured[-1].rep_rate:.0%} by run end"
+        )
+        fail = mean(series(result.measured, "failure_rate"))
+        print(
+            f"{name:>10}: repartitioned by {done_text:<20} "
+            f"mean failure rate {fail:.3f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

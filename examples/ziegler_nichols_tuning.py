@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Tuning the feedback controller with Ziegler–Nichols (paper §3.3).
+
+The paper tunes its PID controller "with an online heuristic-based
+tuning method formally known as the Ziegler–Nichols method".  This
+example performs the full closed-loop procedure against a simulated
+repartition-scheduling plant:
+
+1. drive the plant with a proportional-only controller, ramping the
+   gain until the :class:`UltimateGainProbe` observes sustained
+   oscillation of the measured cost ratio around the setpoint;
+2. read Ku (ultimate gain) and Tu (ultimate period) off the probe;
+3. derive P / PI / PID gains from the classic Ziegler–Nichols table;
+4. show the closed-loop step response under each gain set.
+
+The plant model: actuating a repartition-cost ratio takes effect one
+interval later (transactions promoted this interval execute during the
+next), with a little inertia — the classic delay that makes aggressive
+gains oscillate.
+
+Run:  python examples/ziegler_nichols_tuning.py
+"""
+
+from repro.control import (
+    PIDController,
+    UltimateGainProbe,
+    classic_p_gains,
+    classic_pi_gains,
+    classic_pid_gains,
+)
+
+SETPOINT = 1.05
+INTERVAL_S = 20.0
+
+
+class SchedulingPlant:
+    """One-interval actuation delay plus first-order inertia."""
+
+    def __init__(self, inertia: float = 0.3):
+        self.inertia = inertia
+        self._pending = 0.0   # actuation taking effect next interval
+        self.pv = 1.0         # measured (normal+rep)/normal ratio
+
+    def step(self, actuation: float) -> float:
+        target = 1.0 + max(0.0, self._pending)
+        self.pv += (1 - self.inertia) * (target - self.pv)
+        self._pending = actuation
+        return self.pv
+
+
+def find_ultimate_gain() -> tuple[float, float]:
+    """Ramp Kp until sustained oscillation; return (Ku, Tu)."""
+    gain = 0.5
+    while gain < 50:
+        plant = SchedulingPlant()
+        pid = PIDController(kp=gain, setpoint=SETPOINT)
+        probe = UltimateGainProbe(setpoint=SETPOINT)
+        actuation = SETPOINT - 1.0
+        for step in range(400):
+            time = step * INTERVAL_S
+            output = pid.update(plant.pv)
+            actuation = max(0.0, actuation + output)
+            pv = plant.step(actuation)
+            if probe.observe(time, pv):
+                assert probe.ultimate_period is not None
+                return gain, probe.ultimate_period
+        gain *= 1.3
+    raise RuntimeError("no sustained oscillation found")
+
+
+def closed_loop_response(gains, steps: int = 30) -> list[float]:
+    plant = SchedulingPlant()
+    pid = PIDController(
+        kp=gains.kp, ki=gains.ki, kd=gains.kd, setpoint=SETPOINT
+    )
+    actuation = 0.0
+    trace = []
+    for _ in range(steps):
+        output = pid.update(plant.pv, dt=1.0)
+        actuation = max(0.0, actuation + output)
+        trace.append(plant.step(actuation))
+    return trace
+
+
+def main() -> None:
+    ku, tu = find_ultimate_gain()
+    print(f"ultimate gain Ku = {ku:.2f}")
+    print(f"ultimate period Tu = {tu:.0f}s ({tu / INTERVAL_S:.1f} intervals)")
+    print()
+
+    tunings = {
+        "P   (ZN)": classic_p_gains(ku),
+        "PI  (ZN)": classic_pi_gains(ku, tu / INTERVAL_S),
+        "PID (ZN)": classic_pid_gains(ku, tu / INTERVAL_S),
+    }
+    from repro.control import PIDGains
+
+    tunings["paper (Kp=1)"] = PIDGains(kp=1.0, ki=0.0, kd=0.0)
+
+    print(f"{'tuning':<14} {'Kp':>6} {'Ki':>6} {'Kd':>6}   step response (PV per interval)")
+    for name, gains in tunings.items():
+        trace = closed_loop_response(gains, steps=12)
+        rendered = " ".join(f"{pv:5.3f}" for pv in trace)
+        print(
+            f"{name:<14} {gains.kp:>6.2f} {gains.ki:>6.2f} "
+            f"{gains.kd:>6.2f}   {rendered}"
+        )
+    print(f"\nsetpoint: {SETPOINT} — all tunings should settle there.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""SOAP — Scheduling Online dAta Partitioning for distributed OLTP.
+
+A from-scratch Python reproduction of *"Online Data Partitioning in
+Distributed Database Systems"* (Chen, Zhou, Cao — EDBT 2015): a
+simulated shared-nothing OLTP cluster (storage, 2PL locking, 2PC,
+routing) plus the paper's contribution — five strategies for deploying
+a repartition plan online (ApplyAll, AfterAll, Feedback, Piggyback,
+Hybrid) — and the full evaluation harness regenerating the paper's
+tables and figures.
+
+Quick start::
+
+    from repro.experiments import bench_scale, run_experiment
+
+    result = run_experiment(bench_scale(scheduler="Hybrid"))
+    print(result.summary)
+"""
+
+from . import (
+    cluster,
+    control,
+    core,
+    experiments,
+    locking,
+    metrics,
+    partitioning,
+    routing,
+    sim,
+    storage,
+    txn,
+    workload,
+)
+from .errors import (
+    ConfigError,
+    DeadlockAbort,
+    LockTimeout,
+    PartitioningError,
+    ReproError,
+    RoutingError,
+    StorageError,
+    TransactionAborted,
+)
+from .types import AccessMode, Priority, TxnKind, TxnStatus
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessMode",
+    "ConfigError",
+    "DeadlockAbort",
+    "LockTimeout",
+    "PartitioningError",
+    "Priority",
+    "ReproError",
+    "RoutingError",
+    "StorageError",
+    "TransactionAborted",
+    "TxnKind",
+    "TxnStatus",
+    "__version__",
+    "cluster",
+    "control",
+    "core",
+    "experiments",
+    "locking",
+    "metrics",
+    "partitioning",
+    "routing",
+    "sim",
+    "storage",
+    "txn",
+    "workload",
+]

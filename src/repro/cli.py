@@ -1,0 +1,197 @@
+"""Command-line interface: run experiment cells and regenerate artefacts.
+
+Usage examples::
+
+    python -m repro run --scheduler Hybrid --distribution zipf --load high
+    python -m repro compare --distribution uniform --load low --alpha 0.6
+    python -m repro figure 4
+    python -m repro table1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .experiments import (
+    SCHEDULER_NAMES,
+    bench_scale,
+    figure3_failure_rate,
+    figure4_zipf_high,
+    figure5_uniform_high,
+    figure6_zipf_low,
+    figure7_uniform_low,
+    format_table1,
+    run_experiment,
+)
+from .metrics import format_comparison_table, format_interval_table
+
+_FIGURES = {
+    "3": figure3_failure_rate,
+    "4": figure4_zipf_high,
+    "5": figure5_uniform_high,
+    "6": figure6_zipf_low,
+    "7": figure7_uniform_low,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SOAP: online data partitioning (EDBT 2015) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one experiment cell")
+    _add_cell_arguments(run)
+    run.add_argument(
+        "--every", type=int, default=2,
+        help="print every Nth interval row",
+    )
+    run.add_argument(
+        "--export", metavar="PATH", default=None,
+        help="write the result to PATH (.json or .csv)",
+    )
+
+    compare = sub.add_parser(
+        "compare", help="run all five schedulers on one workload"
+    )
+    _add_cell_arguments(compare, with_scheduler=False)
+    compare.add_argument(
+        "--metric",
+        default="rep_rate",
+        choices=(
+            "rep_rate", "throughput_txn_per_min", "mean_latency_ms",
+            "failure_rate",
+        ),
+    )
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("number", choices=sorted(_FIGURES))
+    figure.add_argument("--seed", type=int, default=0)
+
+    sweep = sub.add_parser(
+        "sweep", help="run one cell across several seeds and aggregate"
+    )
+    _add_cell_arguments(sweep)
+    sweep.add_argument(
+        "--seeds", type=int, nargs="+", default=[0, 1, 2],
+        help="seeds to sweep",
+    )
+
+    sub.add_parser("table1", help="print Table 1 (SP setpoints)")
+    return parser
+
+
+def _add_cell_arguments(
+    parser: argparse.ArgumentParser, with_scheduler: bool = True
+) -> None:
+    if with_scheduler:
+        parser.add_argument(
+            "--scheduler", default="Hybrid", choices=SCHEDULER_NAMES
+        )
+    parser.add_argument(
+        "--distribution", default="zipf", choices=("zipf", "uniform")
+    )
+    parser.add_argument("--load", default="high", choices=("high", "low"))
+    parser.add_argument("--alpha", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--intervals", type=int, default=40)
+    parser.add_argument("--warmup", type=int, default=5)
+
+
+def _cell_config(args: argparse.Namespace, scheduler: Optional[str] = None):
+    return bench_scale(
+        scheduler=scheduler or args.scheduler,
+        distribution=args.distribution,
+        load=args.load,
+        alpha=args.alpha,
+        seed=args.seed,
+        measure_intervals=args.intervals,
+        warmup_intervals=args.warmup,
+    )
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    config = _cell_config(args)
+    print(f"running {config.name} ...", file=sys.stderr)
+    result = run_experiment(config)
+    print(format_interval_table(result.measured, every=args.every))
+    print()
+    for key, value in result.summary.items():
+        print(f"{key}: {value:.3f}")
+    if args.export:
+        from .metrics import save_result
+
+        save_result(result, args.export)
+        print(f"exported to {args.export}", file=sys.stderr)
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    records = {}
+    for scheduler in SCHEDULER_NAMES:
+        print(f"running {scheduler} ...", file=sys.stderr)
+        result = run_experiment(_cell_config(args, scheduler))
+        records[scheduler] = result.measured
+    title = (
+        f"{args.metric} — {args.distribution}/{args.load}, "
+        f"alpha={int(args.alpha * 100)}%"
+    )
+    print(format_comparison_table(records, args.metric, title, every=5))
+    return 0
+
+
+def _command_figure(args: argparse.Namespace) -> int:
+    builder = _FIGURES[args.number]
+    print(f"regenerating Figure {args.number} ...", file=sys.stderr)
+    result = builder(seed=args.seed)
+    print(result.render(every=5))
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    from .experiments import sweep_seeds
+
+    config = _cell_config(args)
+    sweep = sweep_seeds(
+        config,
+        args.seeds,
+        progress=lambda seed: print(
+            f"running {config.name} seed={seed} ...", file=sys.stderr
+        ),
+    )
+    for metric in (
+        "mean_throughput_txn_per_min",
+        "mean_latency_ms",
+        "mean_failure_rate",
+        "final_rep_rate",
+    ):
+        stats = sweep.stats(metric)
+        print(
+            f"{metric}: {stats.mean:.3f} ± {stats.std:.3f} "
+            f"(min {stats.minimum:.3f}, max {stats.maximum:.3f}, "
+            f"n={stats.samples})"
+        )
+    print(f"completion fraction: {sweep.completion_fraction():.2f}")
+    return 0
+
+
+def _command_table1(_args: argparse.Namespace) -> int:
+    print(format_table1())
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _command_run,
+        "compare": _command_compare,
+        "figure": _command_figure,
+        "sweep": _command_sweep,
+        "table1": _command_table1,
+    }
+    return handlers[args.command](args)

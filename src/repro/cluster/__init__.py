@@ -1,0 +1,6 @@
+"""Simulated shared-nothing cluster: data nodes, network, deadlock scope."""
+
+from .cluster import Cluster, ClusterConfig
+from .node import DataNode
+
+__all__ = ["Cluster", "ClusterConfig", "DataNode"]

@@ -1,0 +1,117 @@
+"""Cluster assembly: nodes, the network, and shared deadlock detection."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from ..errors import ConfigError
+from ..locking.deadlock import DeadlockDetector
+from ..sim.network import Network
+from ..sim.random import RandomStreams
+from ..types import NodeId, PartitionId
+from .node import DataNode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.environment import Environment
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Static description of the simulated cluster.
+
+    Defaults follow the paper's testbed: 5 data nodes, one partition per
+    node, 100 connections per node.  ``capacity_units_per_s`` is the work
+    a node can serve per second; workload calibration expresses offered
+    load relative to the sum of these rates.
+    """
+
+    node_count: int = 5
+    capacity_units_per_s: float = 100.0
+    max_connections: int = 100
+    network_latency_s: float = 0.0005
+    network_bandwidth_bytes_per_s: float = 100e6
+    capacity_noise_sigma: float = 0.0
+    capacity_noise_interval_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.node_count < 1:
+            raise ConfigError(f"need at least one node, got {self.node_count}")
+        if self.capacity_units_per_s <= 0:
+            raise ConfigError("node capacity must be positive")
+        if self.max_connections < 1:
+            raise ConfigError("need at least one connection per node")
+        if self.capacity_noise_sigma < 0:
+            raise ConfigError("capacity noise sigma cannot be negative")
+
+
+class Cluster:
+    """The simulated shared-nothing cluster (one partition per node)."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        config: ClusterConfig,
+        streams: Optional[RandomStreams] = None,
+    ) -> None:
+        self.env = env
+        self.config = config
+        self.detector = DeadlockDetector()
+        self.network = Network(
+            env,
+            latency_s=config.network_latency_s,
+            bandwidth_bytes_per_s=config.network_bandwidth_bytes_per_s,
+        )
+        self.nodes: list[DataNode] = [
+            DataNode(
+                env,
+                node_id=i,
+                partition_id=i,
+                capacity_units_per_s=config.capacity_units_per_s,
+                max_connections=config.max_connections,
+                detector=self.detector,
+            )
+            for i in range(config.node_count)
+        ]
+        self._by_partition: dict[PartitionId, DataNode] = {
+            node.partition_id: node for node in self.nodes
+        }
+        if config.capacity_noise_sigma > 0:
+            if streams is None:
+                raise ConfigError(
+                    "capacity noise requires a RandomStreams instance"
+                )
+            for node in self.nodes:
+                node.start_capacity_noise(
+                    streams.stream(f"capacity-noise-{node.node_id}"),
+                    interval_s=config.capacity_noise_interval_s,
+                    relative_sigma=config.capacity_noise_sigma,
+                )
+
+    @property
+    def partition_ids(self) -> list[PartitionId]:
+        """All partition ids, in node order."""
+        return [node.partition_id for node in self.nodes]
+
+    @property
+    def total_capacity_units_per_s(self) -> float:
+        """Aggregate base service rate across all nodes."""
+        return sum(node.base_rate for node in self.nodes)
+
+    def node(self, node_id: NodeId) -> DataNode:
+        """Node by id."""
+        try:
+            return self.nodes[node_id]
+        except IndexError:
+            raise ConfigError(f"unknown node id {node_id}") from None
+
+    def node_for_partition(self, partition_id: PartitionId) -> DataNode:
+        """The node hosting ``partition_id``."""
+        node = self._by_partition.get(partition_id)
+        if node is None:
+            raise ConfigError(f"no node hosts partition {partition_id}")
+        return node
+
+    def tuples_per_partition(self) -> dict[PartitionId, int]:
+        """Resident tuple counts, for balance assertions in tests."""
+        return {node.partition_id: len(node.store) for node in self.nodes}

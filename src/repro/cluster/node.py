@@ -1,0 +1,138 @@
+"""A data node: one partition's storage, locks, and processing capacity.
+
+Mirrors the paper's deployment — each EC2 instance runs one PostgreSQL
+server holding one data partition.  A node bundles:
+
+* a :class:`~repro.storage.partition_store.PartitionStore` (the data),
+* a :class:`~repro.locking.lock_manager.LockManager` (2PL on its tuples),
+* a :class:`~repro.sim.resources.WorkServer` (CPU/IO capacity), and
+* a connection-limit :class:`~repro.sim.resources.Resource` (the paper
+  configures 100 simultaneous PostgreSQL connections per node).
+
+Optionally a *capacity noise* process perturbs the node's service rate
+over time, reproducing the cloud-environment capacity fluctuations the
+paper's feedback controller is designed to absorb (§3.3).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from ..locking.deadlock import DeadlockDetector
+from ..locking.lock_manager import LockManager
+from ..sim.events import Event
+from ..sim.resources import Resource, WorkServer
+from ..storage.partition_store import PartitionStore
+from ..types import NodeId, PartitionId
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.environment import Environment
+    from ..storage.wal import WriteAheadLog
+
+
+class DataNode:
+    """One shared-nothing data node hosting a single partition."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        node_id: NodeId,
+        partition_id: PartitionId,
+        capacity_units_per_s: float,
+        max_connections: int = 100,
+        detector: Optional[DeadlockDetector] = None,
+    ) -> None:
+        self.env = env
+        self.node_id = node_id
+        self.partition_id = partition_id
+        self.store = PartitionStore(partition_id)
+        self.locks = LockManager(env, detector, name=f"node{node_id}")
+        self.server = WorkServer(env, rate=capacity_units_per_s, concurrency=1)
+        self.connections = Resource(env, max_connections)
+        self.base_rate = float(capacity_units_per_s)
+        #: Optional write-ahead log; enabled via :meth:`enable_wal`.
+        self.wal: Optional["WriteAheadLog"] = None
+        #: ``True`` while crashed (between :meth:`crash` and :meth:`restart`).
+        self.is_down = False
+        self.crash_count = 0
+        self._noise_process = None
+
+    def enable_wal(self) -> "WriteAheadLog":
+        """Attach a write-ahead log; the executor journals through it."""
+        from ..storage.wal import WriteAheadLog
+
+        if self.wal is None:
+            self.wal = WriteAheadLog(self.partition_id)
+        return self.wal
+
+    # ------------------------------------------------------------------
+    # Crash / restart (failure injection between transactions)
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Lose all volatile state: store contents and lock table.
+
+        The write-ahead log (if enabled) survives, as durable storage
+        would.  Intended for failure injection *between* transactions;
+        crashing under in-flight transactions is outside the executor's
+        supported envelope (as it would be for the paper's prototype
+        without XA recovery).
+        """
+        if self.is_down:
+            raise RuntimeError(f"node {self.node_id} is already down")
+        self.is_down = True
+        self.crash_count += 1
+        self.store = PartitionStore(self.partition_id)
+        self.locks = LockManager(
+            self.env, self.locks.detector, name=f"node{self.node_id}"
+        )
+
+    def restart(self) -> "PartitionStore":
+        """Come back up, recovering the store from the WAL if present."""
+        if not self.is_down:
+            raise RuntimeError(f"node {self.node_id} is not down")
+        if self.wal is not None:
+            from ..storage.wal import recover
+
+            self.store = recover(self.wal)
+        self.is_down = False
+        return self.store
+
+    def work(self, units: float) -> Generator[Event, Any, None]:
+        """Process generator: consume ``units`` of this node's capacity."""
+        yield from self.server.work(units)
+
+    # ------------------------------------------------------------------
+    # Capacity noise
+    # ------------------------------------------------------------------
+    def start_capacity_noise(
+        self,
+        rng: random.Random,
+        interval_s: float,
+        relative_sigma: float,
+        floor_fraction: float = 0.3,
+    ) -> None:
+        """Perturb the service rate every ``interval_s`` seconds.
+
+        Each tick draws a multiplicative factor from a normal distribution
+        centred on 1 with standard deviation ``relative_sigma``, floored at
+        ``floor_fraction`` of the base rate so the node never stalls.
+        """
+        if self._noise_process is not None:
+            raise RuntimeError(f"capacity noise already running on {self!r}")
+        if interval_s <= 0:
+            raise ValueError(f"noise interval must be positive: {interval_s}")
+
+        def noise() -> Generator[Event, Any, None]:
+            while True:
+                yield self.env.timeout(interval_s)
+                factor = max(floor_fraction, rng.gauss(1.0, relative_sigma))
+                self.server.rate = self.base_rate * factor
+
+        self._noise_process = self.env.process(noise())
+
+    def __repr__(self) -> str:
+        return (
+            f"<DataNode {self.node_id} partition={self.partition_id} "
+            f"tuples={len(self.store)}>"
+        )

@@ -1,0 +1,19 @@
+"""Control theory: PID controller and Ziegler–Nichols tuning."""
+
+from .pid import PIDController
+from .ziegler_nichols import (
+    PIDGains,
+    UltimateGainProbe,
+    classic_p_gains,
+    classic_pi_gains,
+    classic_pid_gains,
+)
+
+__all__ = [
+    "PIDController",
+    "PIDGains",
+    "UltimateGainProbe",
+    "classic_p_gains",
+    "classic_pi_gains",
+    "classic_pid_gains",
+]

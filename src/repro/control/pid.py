@@ -1,0 +1,77 @@
+"""The PID controller of paper §3.3 (Equation 1).
+
+    u(t) = Kp·e(t) + Ki·∫e(τ)dτ + Kd·de(t)/dt
+
+with e(t) = SP − PV.  The paper's experiments run it with Kp = 1,
+Ki = Kd = 0 (pure proportional control).
+
+The controller is used in *velocity* (incremental) form by the Feedback
+scheduler: its output is treated as an adjustment to the previously
+actuated repartition-cost ratio, so a pure-P controller still converges
+on PV = SP instead of oscillating between 0 and SP.  The positional
+output is also exposed for callers that want the textbook form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PIDController:
+    """Discrete-time PID controller."""
+
+    kp: float = 1.0
+    ki: float = 0.0
+    kd: float = 0.0
+    setpoint: float = 0.0
+    #: Anti-windup clamp on the integral term (absolute value).
+    integral_limit: float = float("inf")
+
+    _integral: float = field(default=0.0, repr=False)
+    _previous_error: float = field(default=None, repr=False)  # type: ignore[assignment]
+    _last_output: float = field(default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.integral_limit <= 0:
+            raise ValueError("integral limit must be positive")
+
+    @property
+    def last_output(self) -> float:
+        """Most recent controller output."""
+        return self._last_output
+
+    def error(self, process_variable: float) -> float:
+        """Current error e = SP − PV."""
+        return self.setpoint - process_variable
+
+    def update(self, process_variable: float, dt: float = 1.0) -> float:
+        """Advance one control step and return u(t).
+
+        ``dt`` is the measurement-interval length; the integral and
+        derivative terms are scaled by it.
+        """
+        if dt <= 0:
+            raise ValueError(f"dt must be positive: {dt}")
+        err = self.error(process_variable)
+
+        self._integral += err * dt
+        self._integral = max(
+            -self.integral_limit, min(self.integral_limit, self._integral)
+        )
+
+        if self._previous_error is None:
+            derivative = 0.0
+        else:
+            derivative = (err - self._previous_error) / dt
+        self._previous_error = err
+
+        output = self.kp * err + self.ki * self._integral + self.kd * derivative
+        self._last_output = output
+        return output
+
+    def reset(self) -> None:
+        """Clear accumulated state (integral, derivative history)."""
+        self._integral = 0.0
+        self._previous_error = None  # type: ignore[assignment]
+        self._last_output = 0.0

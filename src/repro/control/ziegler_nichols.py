@@ -1,0 +1,123 @@
+"""Ziegler–Nichols tuning (the paper's §3.3 "online heuristic-based method").
+
+The classic closed-loop procedure: drive the plant with a proportional-
+only controller, raise the gain until the output oscillates with stable
+amplitude (the *ultimate gain* Ku and *ultimate period* Tu), then read
+the PID gains off the Ziegler–Nichols table.
+
+Two utilities are provided:
+
+* :func:`classic_pid_gains` / :func:`classic_pi_gains` /
+  :func:`classic_p_gains` — the 1942 table given (Ku, Tu);
+* :class:`UltimateGainProbe` — an online detector that watches a PV
+  series produced under increasing proportional gain and reports when
+  sustained oscillation is reached, yielding Ku and Tu.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class PIDGains:
+    """A (Kp, Ki, Kd) triple."""
+
+    kp: float
+    ki: float
+    kd: float
+
+
+def classic_p_gains(ku: float) -> PIDGains:
+    """Ziegler–Nichols P-only rule: Kp = 0.5·Ku."""
+    _check(ku, 1.0)
+    return PIDGains(kp=0.5 * ku, ki=0.0, kd=0.0)
+
+
+def classic_pi_gains(ku: float, tu: float) -> PIDGains:
+    """Ziegler–Nichols PI rule: Kp = 0.45·Ku, Ti = Tu/1.2."""
+    _check(ku, tu)
+    kp = 0.45 * ku
+    ti = tu / 1.2
+    return PIDGains(kp=kp, ki=kp / ti, kd=0.0)
+
+
+def classic_pid_gains(ku: float, tu: float) -> PIDGains:
+    """Ziegler–Nichols PID rule: Kp = 0.6·Ku, Ti = Tu/2, Td = Tu/8."""
+    _check(ku, tu)
+    kp = 0.6 * ku
+    ti = tu / 2.0
+    td = tu / 8.0
+    return PIDGains(kp=kp, ki=kp / ti, kd=kp * td)
+
+
+def _check(ku: float, tu: float) -> None:
+    if ku <= 0:
+        raise ValueError(f"ultimate gain must be positive: {ku}")
+    if tu <= 0:
+        raise ValueError(f"ultimate period must be positive: {tu}")
+
+
+@dataclass
+class UltimateGainProbe:
+    """Detects sustained oscillation of a PV around its setpoint.
+
+    Feed it (time, pv) samples while slowly increasing the proportional
+    gain.  It records zero crossings of (pv − setpoint); once
+    ``required_cycles`` full cycles occur whose periods agree within
+    ``period_tolerance`` and whose amplitudes do not decay by more than
+    ``amplitude_tolerance``, the oscillation is declared sustained and
+    :attr:`ultimate_period` is the mean observed period.
+    """
+
+    setpoint: float
+    required_cycles: int = 3
+    period_tolerance: float = 0.25
+    amplitude_tolerance: float = 0.35
+
+    _last_sign: int = field(default=0, repr=False)
+    _crossing_times: list = field(default_factory=list, repr=False)
+    _peak: float = field(default=0.0, repr=False)
+    _peaks: list = field(default_factory=list, repr=False)
+    ultimate_period: Optional[float] = None
+
+    def observe(self, time: float, pv: float) -> bool:
+        """Add a sample; returns ``True`` once oscillation is sustained."""
+        deviation = pv - self.setpoint
+        self._peak = max(self._peak, abs(deviation))
+        sign = 0 if deviation == 0 else (1 if deviation > 0 else -1)
+        if sign != 0 and self._last_sign != 0 and sign != self._last_sign:
+            self._crossing_times.append(time)
+            self._peaks.append(self._peak)
+            self._peak = 0.0
+        if sign != 0:
+            self._last_sign = sign
+        return self._evaluate()
+
+    def _evaluate(self) -> bool:
+        # Two crossings = half a cycle; need 2*required_cycles half-periods.
+        needed = 2 * self.required_cycles + 1
+        if len(self._crossing_times) < needed:
+            return False
+        recent = self._crossing_times[-needed:]
+        half_periods = [
+            recent[i + 1] - recent[i] for i in range(len(recent) - 1)
+        ]
+        mean_half = sum(half_periods) / len(half_periods)
+        if mean_half <= 0:
+            return False
+        if any(
+            abs(hp - mean_half) > self.period_tolerance * mean_half
+            for hp in half_periods
+        ):
+            return False
+        recent_peaks = self._peaks[-(needed - 1):]
+        top = max(recent_peaks)
+        bottom = min(recent_peaks)
+        if top <= 0:
+            return False
+        if (top - bottom) / top > self.amplitude_tolerance:
+            return False
+        self.ultimate_period = 2 * mean_half
+        return True

@@ -1,0 +1,39 @@
+"""SOAP core: Algorithm 1 ranking, sessions, schedulers, repartitioner."""
+
+from .monitor import (
+    AutoRepartitioner,
+    AutoRepartitionerConfig,
+    WorkloadMonitor,
+)
+from .ranking import RepartitionTransactionSpec, generate_and_rank
+from .repartitioner import Repartitioner
+from .schedulers import (
+    AfterAllScheduler,
+    ApplyAllScheduler,
+    FeedbackConfig,
+    FeedbackScheduler,
+    HybridScheduler,
+    PiggybackConfig,
+    PiggybackScheduler,
+    Scheduler,
+)
+from .session import RepartitionSession, RepState
+
+__all__ = [
+    "AfterAllScheduler",
+    "ApplyAllScheduler",
+    "AutoRepartitioner",
+    "AutoRepartitionerConfig",
+    "WorkloadMonitor",
+    "FeedbackConfig",
+    "FeedbackScheduler",
+    "HybridScheduler",
+    "PiggybackConfig",
+    "PiggybackScheduler",
+    "RepState",
+    "RepartitionSession",
+    "RepartitionTransactionSpec",
+    "Repartitioner",
+    "Scheduler",
+    "generate_and_rank",
+]

@@ -1,0 +1,221 @@
+"""Workload-history monitoring and the automatic repartition trigger.
+
+Paper §2.2: the repartitioner's optimizer "periodically extracts the
+frequency of transactions and their visiting data partitions from the
+workload history, and then estimates the system throughput and latency
+in the near future based on the history.  If the estimated system
+performance is under a predefined threshold, the optimizer will derive
+a repartition plan."
+
+:class:`WorkloadMonitor` implements the history side: it observes every
+finished transaction (type id, key set, distributed or not), maintains
+a sliding window of per-type frequencies, and can emit an *observed*
+:class:`~repro.workload.profile.WorkloadProfile` — the input the
+optimizer and Algorithm 1 need, derived from measurement instead of
+ground truth.
+
+:class:`AutoRepartitioner` closes the loop: every interval it estimates
+utilisation from the observed history and, when the threshold is
+breached and no session is active, derives and deploys a plan with the
+configured scheduler.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
+
+from ..metrics.collectors import IntervalRecord, MetricsCollector
+from ..partitioning.optimizer import RepartitionOptimizer
+from ..txn.transaction import Transaction
+from ..types import TupleKey
+from ..workload.profile import TransactionType, WorkloadProfile
+from .repartitioner import Repartitioner
+from .schedulers.base import Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.environment import Environment
+
+
+@dataclass
+class _TypeStats:
+    keys: tuple[TupleKey, ...]
+    arrivals: int = 0
+
+
+class WorkloadMonitor:
+    """Sliding-window transaction-history tracker.
+
+    Call :meth:`observe` for every submitted normal transaction (wire it
+    to the TM's scheduler hook or the arrival process).  The window
+    holds the last ``window_intervals`` intervals of observations.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        interval_s: float = 20.0,
+        window_intervals: int = 10,
+        table: str = "accounts",
+    ) -> None:
+        if window_intervals < 1:
+            raise ValueError("window must span at least one interval")
+        self.env = env
+        self.interval_s = interval_s
+        self.window_intervals = window_intervals
+        self.table = table
+        self._current: dict[int, _TypeStats] = {}
+        self._window: deque[dict[int, _TypeStats]] = deque(
+            maxlen=window_intervals
+        )
+        self._seen_txn_ids: set[int] = set()
+        self._current_start = env.now
+        self.total_observed = 0
+        self._roller = env.process(self._roll_loop())
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def observe(self, txn: Transaction) -> None:
+        """Record one normal transaction arrival.
+
+        A transaction is counted once, however many times it is
+        resubmitted after aborts — the history tracks client demand,
+        not retry amplification.
+        """
+        if not txn.is_normal or txn.type_id is None:
+            return
+        if txn.txn_id in self._seen_txn_ids:
+            return
+        self._maybe_roll()
+        self._seen_txn_ids.add(txn.txn_id)
+        keys = tuple(sorted(q.key for q in txn.queries))
+        stats = self._current.get(txn.type_id)
+        if stats is None:
+            self._current[txn.type_id] = _TypeStats(keys=keys, arrivals=1)
+        else:
+            stats.arrivals += 1
+        self.total_observed += 1
+
+    def _maybe_roll(self) -> None:
+        """Close buckets by *timestamp*, so an observation landing exactly
+        on a boundary counts toward the new interval regardless of event
+        ordering at that instant."""
+        while self.env.now >= self._current_start + self.interval_s:
+            self._window.append(self._current)
+            self._current = {}
+            self._current_start += self.interval_s
+
+    def _roll_loop(self):
+        while True:
+            yield self.env.timeout(self.interval_s)
+            self._maybe_roll()
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def observed_rate_txn_per_s(self) -> float:
+        """Mean arrival rate over the window (txn/s)."""
+        if not self._window:
+            return 0.0
+        arrivals = sum(
+            stats.arrivals
+            for interval in self._window
+            for stats in interval.values()
+        )
+        return arrivals / (len(self._window) * self.interval_s)
+
+    def observed_profile(self, min_arrivals: int = 1) -> WorkloadProfile:
+        """The workload profile as measured over the window.
+
+        Types seen fewer than ``min_arrivals`` times are dropped — the
+        optimizer should not chase noise.
+        """
+        merged: dict[int, _TypeStats] = {}
+        for interval in self._window:
+            for type_id, stats in interval.items():
+                acc = merged.get(type_id)
+                if acc is None:
+                    merged[type_id] = _TypeStats(
+                        keys=stats.keys, arrivals=stats.arrivals
+                    )
+                else:
+                    acc.arrivals += stats.arrivals
+        types = [
+            TransactionType(
+                type_id=type_id,
+                keys=stats.keys,
+                frequency=float(stats.arrivals),
+            )
+            for type_id, stats in sorted(merged.items())
+            if stats.arrivals >= min_arrivals
+        ]
+        return WorkloadProfile(table=self.table, types=types)
+
+
+@dataclass(frozen=True)
+class AutoRepartitionerConfig:
+    """Trigger policy for the closed loop."""
+
+    #: Re-plan when estimated utilisation exceeds this.
+    utilisation_threshold: float = 0.9
+    #: Minimum observed arrivals for a type to be planned around.
+    min_arrivals: int = 2
+    #: Cool-down: intervals to wait after a session completes before
+    #: another plan may be derived.
+    cooldown_intervals: int = 3
+
+
+class AutoRepartitioner:
+    """The fully closed loop: monitor → trigger → plan → deploy."""
+
+    def __init__(
+        self,
+        repartitioner: Repartitioner,
+        monitor: WorkloadMonitor,
+        optimizer: RepartitionOptimizer,
+        metrics: MetricsCollector,
+        capacity_units_per_s: float,
+        scheduler_factory: Callable[[], Scheduler],
+        config: Optional[AutoRepartitionerConfig] = None,
+    ) -> None:
+        self.repartitioner = repartitioner
+        self.monitor = monitor
+        self.optimizer = optimizer
+        self.capacity_units_per_s = capacity_units_per_s
+        self.scheduler_factory = scheduler_factory
+        self.config = config or AutoRepartitionerConfig()
+        self.sessions_started = 0
+        self._cooldown = 0
+        metrics.interval_observers.append(self._on_interval)
+
+    def _on_interval(self, record: IntervalRecord) -> None:
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            return
+        session = self.repartitioner.session
+        if session is not None and not session.is_complete:
+            return
+        profile = self.monitor.observed_profile(
+            min_arrivals=self.config.min_arrivals
+        )
+        if not profile.types:
+            return
+        rate = self.monitor.observed_rate_txn_per_s()
+        pmap = self.repartitioner.router.partition_map
+        mean_cost = self.repartitioner.cost_model.expected_cost_per_txn(
+            profile.types, pmap
+        )
+        if self.capacity_units_per_s <= 0:
+            return
+        utilisation = rate * mean_cost / self.capacity_units_per_s
+        if utilisation <= self.config.utilisation_threshold:
+            return
+        plan = self.optimizer.derive_plan(profile, pmap)
+        specs = self.repartitioner.rank_plan(plan, profile)
+        if not specs:
+            return
+        self.repartitioner.deploy(specs, self.scheduler_factory())
+        self.sessions_started += 1
+        self._cooldown = self.config.cooldown_intervals

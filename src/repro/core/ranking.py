@@ -1,0 +1,140 @@
+"""Algorithm 1: generating and ranking repartition transactions.
+
+Given the repartition operations ``OPrep`` emitted by the optimizer and
+the new partition plan P, the algorithm:
+
+1. builds ``Top`` — for each normal transaction type t_i whose cost
+   improves under P (``C_i(O) − C_i(P) > 0``), the group of operations
+   that modify objects t_i accesses;
+2. spreads each type's gain ``f_i (C_i(O) − C_i(P))`` evenly over its
+   operation group, accumulating per-operation benefit;
+3. totals benefits per group (``Tbenefit``) and walks groups in
+   descending total benefit, turning each group into one repartition
+   transaction while ensuring every operation belongs to exactly one
+   transaction (operations already consumed by a hotter group are
+   removed, and their benefit subtracted);
+4. computes each transaction's benefit density ``B_j / C_j`` and returns
+   the transactions sorted by descending density, together with ``TRep``
+   mapping each benefiting normal-transaction type to its repartition
+   transaction (the structure Algorithm 2's piggybacking consults).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..partitioning.cost_model import CostModel
+from ..partitioning.operations import RepartitionOperation
+from ..partitioning.plan import PartitionPlan
+from ..routing.partition_map import PartitionMap
+from ..workload.profile import WorkloadProfile
+
+
+@dataclass
+class RepartitionTransactionSpec:
+    """A ranked repartition transaction, before it becomes a Transaction.
+
+    ``type_id`` is the benefiting normal-transaction type recorded in
+    TRep (the paper pairs each repartition transaction with one affected
+    normal transaction).
+    """
+
+    ops: list[RepartitionOperation]
+    type_id: int
+    benefit: float
+    cost: float
+    benefit_density: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.benefit_density = self.benefit / self.cost if self.cost > 0 else 0.0
+
+
+def generate_and_rank(
+    operations: Sequence[RepartitionOperation],
+    plan: PartitionPlan,
+    current: PartitionMap,
+    profile: WorkloadProfile,
+    cost_model: CostModel,
+) -> list[RepartitionTransactionSpec]:
+    """Run Algorithm 1 and return specs in descending benefit density."""
+    ops_by_key: dict[int, list[RepartitionOperation]] = {}
+    for op in operations:
+        ops_by_key.setdefault(op.key, []).append(op)
+        op.benefit = 0.0  # reset accumulators from any previous run
+
+    # Lines 1-5: build Top (type -> ops touching its keys), filtered to
+    # types that actually improve under the plan.
+    top: dict[int, list[RepartitionOperation]] = {}
+    improvements: dict[int, float] = {}
+    for ttype in profile.types:
+        group: list[RepartitionOperation] = []
+        seen: set[int] = set()
+        for key in ttype.keys:
+            for op in ops_by_key.get(key, ()):  # pragma: no branch
+                if op.op_id not in seen:
+                    group.append(op)
+                    seen.add(op.op_id)
+        if not group:
+            continue
+        delta = cost_model.improvement(ttype, plan, current)
+        if delta <= 0:
+            continue
+        top[ttype.type_id] = group
+        improvements[ttype.type_id] = delta
+
+    # Lines 6-9: spread each type's gain evenly over its op group.
+    for type_id, group in top.items():
+        ttype = profile.type(type_id)
+        per_op = ttype.frequency * improvements[type_id] / len(group)
+        for op in group:
+            op.benefit += per_op
+
+    # Lines 10-15: total benefit per group, sorted descending.
+    group_benefit = {
+        type_id: sum(op.benefit for op in group)
+        for type_id, group in top.items()
+    }
+    ranked_types = sorted(
+        group_benefit, key=lambda tid: (-group_benefit[tid], tid)
+    )
+
+    # Lines 16-26: carve groups into transactions; each op used once.
+    remaining: set[int] = {op.op_id for op in operations}
+    specs: list[RepartitionTransactionSpec] = []
+    for type_id in ranked_types:
+        group = []
+        benefit = group_benefit[type_id]
+        for op in top[type_id]:
+            if op.op_id in remaining:
+                group.append(op)
+            else:
+                benefit -= op.benefit
+        if not group:
+            continue
+        for op in group:
+            remaining.discard(op.op_id)
+        cost = cost_model.rep_txn_cost(group)
+        specs.append(
+            RepartitionTransactionSpec(
+                ops=group, type_id=type_id, benefit=benefit, cost=cost
+            )
+        )
+
+    # Leftover operations benefit no profiled type directly (e.g. load
+    # balancing moves); package them one transaction per key group so
+    # they still get applied, ranked last.
+    leftovers = [op for op in operations if op.op_id in remaining]
+    if leftovers:
+        specs.append(
+            RepartitionTransactionSpec(
+                ops=leftovers,
+                type_id=-1,
+                benefit=0.0,
+                cost=cost_model.rep_txn_cost(leftovers),
+            )
+        )
+
+    # Line 27: sort TRep by descending benefit density.
+    specs.sort(key=lambda spec: (-spec.benefit_density, spec.type_id))
+    return specs

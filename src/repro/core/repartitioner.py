@@ -1,0 +1,97 @@
+"""The repartitioner: SOAP's coordinating component (paper §2.2).
+
+Ties the pipeline together: take a partition plan from an optimizer,
+diff it against the live partition map, run Algorithm 1 to generate and
+rank repartition transactions, open a :class:`RepartitionSession`, and
+hand control to the chosen scheduler.  The repartitioner also wires the
+scheduler into the transaction manager (arrival/completion hooks) and
+the metrics collector (interval observations).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from ..metrics.collectors import MetricsCollector
+from ..partitioning.cost_model import CostModel
+from ..partitioning.operations import RepartitionOperation
+from ..partitioning.plan import PartitionPlan, diff_plan
+from ..routing.router import QueryRouter
+from ..txn.manager import TransactionManager
+from ..workload.profile import WorkloadProfile
+from .ranking import RepartitionTransactionSpec, generate_and_rank
+from .schedulers.base import Scheduler
+from .session import RepartitionSession
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.environment import Environment
+
+
+class Repartitioner:
+    """Coordinates online deployment of a repartition plan."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        tm: TransactionManager,
+        router: QueryRouter,
+        metrics: MetricsCollector,
+        cost_model: CostModel,
+    ) -> None:
+        self.env = env
+        self.tm = tm
+        self.router = router
+        self.metrics = metrics
+        self.cost_model = cost_model
+        self.session: Optional[RepartitionSession] = None
+        self.scheduler: Optional[Scheduler] = None
+
+    # ------------------------------------------------------------------
+    # Planning + ranking
+    # ------------------------------------------------------------------
+    def rank_plan(
+        self,
+        plan: PartitionPlan,
+        profile: WorkloadProfile,
+        operations: Optional[Sequence[RepartitionOperation]] = None,
+    ) -> list[RepartitionTransactionSpec]:
+        """Diff the plan against the live map and run Algorithm 1."""
+        if operations is None:
+            operations = diff_plan(self.router.partition_map, plan)
+        return generate_and_rank(
+            operations,
+            plan,
+            self.router.partition_map,
+            profile,
+            self.cost_model,
+        )
+
+    # ------------------------------------------------------------------
+    # Deployment
+    # ------------------------------------------------------------------
+    def deploy(
+        self,
+        specs: Sequence[RepartitionTransactionSpec],
+        scheduler: Scheduler,
+    ) -> RepartitionSession:
+        """Open a session and let ``scheduler`` drive the deployment."""
+        if self.session is not None and not self.session.is_complete:
+            raise RuntimeError("a repartition session is already active")
+        session = RepartitionSession(self.env, self.tm, self.metrics, specs)
+        scheduler.bind(session)
+        self.tm.scheduler = scheduler
+        self.metrics.interval_observers.append(scheduler.on_interval)
+        scheduler.begin()
+        self.session = session
+        self.scheduler = scheduler
+        return session
+
+    def deploy_plan(
+        self,
+        plan: PartitionPlan,
+        profile: WorkloadProfile,
+        scheduler: Scheduler,
+    ) -> RepartitionSession:
+        """Convenience: rank ``plan`` and deploy it in one call."""
+        specs = self.rank_plan(plan, profile)
+        return self.deploy(specs, scheduler)

@@ -1,0 +1,19 @@
+"""The five SOAP scheduling strategies."""
+
+from .after_all import AfterAllScheduler
+from .apply_all import ApplyAllScheduler
+from .base import Scheduler
+from .feedback import FeedbackConfig, FeedbackScheduler
+from .hybrid import HybridScheduler
+from .piggyback import PiggybackConfig, PiggybackScheduler
+
+__all__ = [
+    "AfterAllScheduler",
+    "ApplyAllScheduler",
+    "FeedbackConfig",
+    "FeedbackScheduler",
+    "HybridScheduler",
+    "PiggybackConfig",
+    "PiggybackScheduler",
+    "Scheduler",
+]

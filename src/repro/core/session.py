@@ -1,0 +1,184 @@
+"""The repartition session: shared state for one plan deployment.
+
+A session owns the ranked repartition transactions produced by
+Algorithm 1 and tracks each one's state while a scheduler deploys them:
+
+* ``PENDING`` — known but not in the processing queue;
+* ``QUEUED`` — submitted to the transaction manager;
+* ``PIGGYBACKED`` — its operations are riding inside a normal carrier;
+* ``DONE`` — committed (directly or via carrier).
+
+It also exposes ``TRep`` — the type-id → repartition-transaction lookup
+that Algorithm 2's piggybacking consults — and fires a completion event
+when every repartition transaction is done.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from ..metrics.collectors import MetricsCollector
+from ..sim.events import Event
+from ..txn.manager import TransactionManager
+from ..txn.transaction import Transaction
+from ..types import Priority, TxnId
+from .ranking import RepartitionTransactionSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.environment import Environment
+
+
+class RepState(enum.Enum):
+    """Deployment state of one repartition transaction."""
+
+    PENDING = "pending"
+    QUEUED = "queued"
+    PIGGYBACKED = "piggybacked"
+    DONE = "done"
+
+
+class RepartitionSession:
+    """Tracks one repartition plan's deployment."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        tm: TransactionManager,
+        metrics: MetricsCollector,
+        specs: Sequence[RepartitionTransactionSpec],
+    ) -> None:
+        self.env = env
+        self.tm = tm
+        self.metrics = metrics
+        self.started_at = env.now
+        self.completed = Event(env)
+
+        self.rep_txns: list[Transaction] = [
+            tm.create_repartition(
+                ops=spec.ops,
+                type_id=spec.type_id,
+                benefit=spec.benefit,
+                cost=spec.cost,
+                benefit_density=spec.benefit_density,
+            )
+            for spec in specs
+        ]
+        self._states: dict[TxnId, RepState] = {
+            txn.txn_id: RepState.PENDING for txn in self.rep_txns
+        }
+        #: TRep — benefiting normal type -> repartition transaction.
+        self.trep: dict[int, Transaction] = {
+            txn.type_id: txn
+            for txn in self.rep_txns
+            if txn.type_id is not None and txn.type_id >= 0
+        }
+        self.ops_total = sum(len(txn.rep_ops) for txn in self.rep_txns)
+        metrics.set_rep_ops_total(metrics.rep_ops_total + self.ops_total)
+        # Route applied-op notifications into the metrics collector.
+        tm.executor.on_rep_op_applied = lambda _op, _txn: (
+            metrics.record_rep_op_applied()
+        )
+        if not self.rep_txns:
+            self.completed.succeed()
+
+    # ------------------------------------------------------------------
+    # State queries
+    # ------------------------------------------------------------------
+    def state_of(self, txn_id: TxnId) -> RepState:
+        """Deployment state of one repartition transaction."""
+        return self._states[txn_id]
+
+    def pending(self) -> list[Transaction]:
+        """PENDING repartition transactions, in rank order."""
+        return [
+            txn
+            for txn in self.rep_txns
+            if self._states[txn.txn_id] is RepState.PENDING
+        ]
+
+    def unfinished_count(self) -> int:
+        """Repartition transactions not yet DONE."""
+        return sum(
+            1 for state in self._states.values() if state is not RepState.DONE
+        )
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether every repartition transaction committed."""
+        return self.unfinished_count() == 0
+
+    def mean_rep_txn_cost(self) -> float:
+        """Average repartition-transaction cost (feedback sizing input)."""
+        if not self.rep_txns:
+            return 0.0
+        return sum(txn.cost for txn in self.rep_txns) / len(self.rep_txns)
+
+    # ------------------------------------------------------------------
+    # Scheduler actions
+    # ------------------------------------------------------------------
+    def submit(self, rep_txn: Transaction, priority: Priority) -> None:
+        """Submit a PENDING repartition transaction to the queue."""
+        state = self._states[rep_txn.txn_id]
+        if state is not RepState.PENDING:
+            raise ValueError(
+                f"repartition txn {rep_txn.txn_id} is {state.value}, "
+                "cannot submit"
+            )
+        self._states[rep_txn.txn_id] = RepState.QUEUED
+        self.tm.submit(rep_txn, priority)
+
+    def promote(self, rep_txn: Transaction, priority: Priority) -> bool:
+        """Raise the priority of a QUEUED (still waiting) transaction."""
+        if self._states[rep_txn.txn_id] is not RepState.QUEUED:
+            return False
+        return self.tm.queue.reprioritise(rep_txn.txn_id, priority)
+
+    def claim_for_piggyback(self, type_id: int) -> Optional[Transaction]:
+        """Take the pending repartition transaction benefiting ``type_id``.
+
+        Returns ``None`` when there is nothing to piggyback: no such
+        transaction, already done/piggybacked, or already dispatched to
+        a worker (it left the queue and cannot be recalled).
+        """
+        rep_txn = self.trep.get(type_id)
+        if rep_txn is None:
+            return None
+        state = self._states[rep_txn.txn_id]
+        if state is RepState.PENDING:
+            self._states[rep_txn.txn_id] = RepState.PIGGYBACKED
+            return rep_txn
+        if state is RepState.QUEUED:
+            if self.tm.queue.remove(rep_txn.txn_id) is None:
+                return None  # already dispatched; let it run as a txn
+            self._states[rep_txn.txn_id] = RepState.PIGGYBACKED
+            return rep_txn
+        return None
+
+    def release_piggyback(self, rep_txn_id: TxnId) -> Optional[Transaction]:
+        """Return a PIGGYBACKED transaction to PENDING (carrier aborted)."""
+        state = self._states.get(rep_txn_id)
+        if state is not RepState.PIGGYBACKED:
+            return None
+        self._states[rep_txn_id] = RepState.PENDING
+        return next(
+            (t for t in self.rep_txns if t.txn_id == rep_txn_id), None
+        )
+
+    def requeue(self, rep_txn: Transaction) -> None:
+        """A QUEUED repartition transaction aborted and will be retried."""
+        # The TM resubmits it with the same priority; state stays QUEUED.
+
+    def complete(self, rep_txn_id: TxnId) -> None:
+        """Mark one repartition transaction DONE (removes it from TRep)."""
+        if self._states.get(rep_txn_id) is RepState.DONE:
+            return
+        self._states[rep_txn_id] = RepState.DONE
+        done_txn = next(
+            (t for t in self.rep_txns if t.txn_id == rep_txn_id), None
+        )
+        if done_txn is not None and done_txn.type_id in self.trep:
+            if self.trep[done_txn.type_id].txn_id == rep_txn_id:
+                del self.trep[done_txn.type_id]
+        if self.is_complete and not self.completed.triggered:
+            self.completed.succeed(self.env.now)

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the SOAP reproduction."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ConfigError(ReproError):
+    """An experiment or component configuration is invalid."""
+
+
+class RoutingError(ReproError):
+    """The query router could not resolve a key to a partition."""
+
+
+class StorageError(ReproError):
+    """A storage-level operation failed (missing tuple, duplicate, ...)."""
+
+
+class PartitioningError(ReproError):
+    """A partition plan or repartition operation is inconsistent."""
+
+
+class TransactionAborted(ReproError):
+    """A transaction was aborted; ``reason`` explains why.
+
+    Raised *inside* transaction executor processes; the transaction
+    manager catches it, releases resources, and records the failure.
+    """
+
+    def __init__(self, txn_id: int, reason: str) -> None:
+        super().__init__(f"transaction {txn_id} aborted: {reason}")
+        self.txn_id = txn_id
+        self.reason = reason
+
+
+class LockTimeout(TransactionAborted):
+    """A lock wait exceeded the configured timeout."""
+
+    def __init__(self, txn_id: int, key: object, wait_s: float) -> None:
+        TransactionAborted.__init__(
+            self, txn_id, f"lock wait on {key!r} exceeded {wait_s}s"
+        )
+        self.key = key
+        self.wait_s = wait_s
+
+
+class DeadlockAbort(TransactionAborted):
+    """The deadlock detector chose this transaction as the victim."""
+
+    def __init__(self, txn_id: int, cycle: tuple[int, ...]) -> None:
+        TransactionAborted.__init__(
+            self, txn_id, f"deadlock victim in cycle {cycle}"
+        )
+        self.cycle = cycle

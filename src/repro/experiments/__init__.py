@@ -1,0 +1,72 @@
+"""Experiments: configs, the runner, and the paper's tables/figures."""
+
+from .config import (
+    HIGH_LOAD_UTILISATION,
+    LOW_LOAD_UTILISATION,
+    SCHEDULER_NAMES,
+    CostConfig,
+    ExperimentConfig,
+    RuntimeConfig,
+    SchedulerConfig,
+    bench_scale,
+    medium_scale,
+    paper_scale,
+)
+from .figures import (
+    Figure3Result,
+    FigureResult,
+    figure3_failure_rate,
+    figure4_zipf_high,
+    figure5_uniform_high,
+    figure6_zipf_low,
+    figure7_uniform_low,
+)
+from .runner import (
+    ExperimentResult,
+    System,
+    build_system,
+    make_scheduler,
+    run_experiment,
+    start_repartitioning,
+)
+from .sweeps import (
+    MetricStats,
+    SweepResult,
+    format_sweep_comparison,
+    sweep_seeds,
+)
+from .tables import PAPER_GAINS, SP_TABLE, format_table1, setpoint_for
+
+__all__ = [
+    "CostConfig",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "Figure3Result",
+    "FigureResult",
+    "HIGH_LOAD_UTILISATION",
+    "LOW_LOAD_UTILISATION",
+    "MetricStats",
+    "PAPER_GAINS",
+    "RuntimeConfig",
+    "SCHEDULER_NAMES",
+    "SP_TABLE",
+    "SchedulerConfig",
+    "SweepResult",
+    "System",
+    "bench_scale",
+    "build_system",
+    "figure3_failure_rate",
+    "figure4_zipf_high",
+    "figure5_uniform_high",
+    "figure6_zipf_low",
+    "figure7_uniform_low",
+    "format_sweep_comparison",
+    "format_table1",
+    "make_scheduler",
+    "medium_scale",
+    "paper_scale",
+    "run_experiment",
+    "setpoint_for",
+    "start_repartitioning",
+    "sweep_seeds",
+]

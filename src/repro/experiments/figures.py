@@ -1,0 +1,162 @@
+"""Figure regeneration: the paper's Figures 3-7 as data series.
+
+Each figure function runs the relevant experiment cells and returns the
+per-interval series for every scheduler line, plus a text rendering that
+the benchmark harness prints.  Figures 4-7 are the 3x3 grids (RepRate /
+Throughput / Latency × α ∈ {100%, 60%, 20%}); Figure 3 is the failure-
+rate panel at α = 100% for all four workload/load combinations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from ..metrics.collectors import IntervalRecord
+from ..metrics.report import format_comparison_table, format_sparkline_panel
+from .config import SCHEDULER_NAMES, ExperimentConfig, bench_scale
+from .runner import ExperimentResult, run_experiment
+
+#: The metrics plotted in each figure-grid row.
+GRID_METRICS = (
+    ("rep_rate", "RepRate"),
+    ("throughput_txn_per_min", "Throughput (txn/min)"),
+    ("mean_latency_ms", "Latency (ms)"),
+)
+
+#: The α columns of Figures 4-7.
+GRID_ALPHAS = (1.0, 0.6, 0.2)
+
+
+@dataclass
+class FigureResult:
+    """All runs backing one paper figure."""
+
+    figure: str
+    #: (scheduler, alpha) -> result.
+    runs: dict[tuple[str, float], ExperimentResult] = field(
+        default_factory=dict
+    )
+
+    def records(
+        self, scheduler: str, alpha: float
+    ) -> list[IntervalRecord]:
+        """Measured interval records for one line of the figure."""
+        return self.runs[(scheduler, alpha)].measured
+
+    def panel(
+        self, metric: str, alpha: float
+    ) -> dict[str, list[IntervalRecord]]:
+        """One sub-figure: every scheduler's records at a given α."""
+        return {
+            scheduler: self.records(scheduler, alpha)
+            for scheduler, a in self.runs
+            if a == alpha
+        }
+
+    def render(self, every: int = 10) -> str:
+        """Text rendering of the whole figure grid."""
+        blocks = []
+        alphas = sorted({a for _s, a in self.runs}, reverse=True)
+        for metric, label in GRID_METRICS:
+            for alpha in alphas:
+                title = (
+                    f"{self.figure} — {label}, alpha={int(alpha * 100)}%"
+                )
+                panel = self.panel(metric, alpha)
+                blocks.append(
+                    format_comparison_table(panel, metric, title, every)
+                    + "\n"
+                    + format_sparkline_panel(panel, metric)
+                )
+        return "\n\n".join(blocks)
+
+
+def _run_cells(
+    figure: str,
+    distribution: str,
+    load: str,
+    alphas: Sequence[float],
+    schedulers: Sequence[str] = SCHEDULER_NAMES,
+    seed: int = 0,
+    config_factory: Optional[
+        Callable[[str, str, str, float, int], ExperimentConfig]
+    ] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> FigureResult:
+    factory = config_factory or (
+        lambda sched, dist, lo, alpha, sd: bench_scale(
+            scheduler=sched,
+            distribution=dist,
+            load=lo,
+            alpha=alpha,
+            seed=sd,
+        )
+    )
+    result = FigureResult(figure=figure)
+    for alpha in alphas:
+        for scheduler in schedulers:
+            if progress is not None:
+                progress(f"{figure}: {scheduler} alpha={alpha}")
+            config = factory(scheduler, distribution, load, alpha, seed)
+            result.runs[(scheduler, alpha)] = run_experiment(config)
+    return result
+
+
+def figure4_zipf_high(**kwargs) -> FigureResult:
+    """Figure 4: Zipf workload under high load, α ∈ {100, 60, 20}%."""
+    return _run_cells("Figure 4 (Zipf/High)", "zipf", "high",
+                      GRID_ALPHAS, **kwargs)
+
+
+def figure5_uniform_high(**kwargs) -> FigureResult:
+    """Figure 5: Uniform workload under high load."""
+    return _run_cells("Figure 5 (Uniform/High)", "uniform", "high",
+                      GRID_ALPHAS, **kwargs)
+
+
+def figure6_zipf_low(**kwargs) -> FigureResult:
+    """Figure 6: Zipf workload under low load."""
+    return _run_cells("Figure 6 (Zipf/Low)", "zipf", "low",
+                      GRID_ALPHAS, **kwargs)
+
+
+def figure7_uniform_low(**kwargs) -> FigureResult:
+    """Figure 7: Uniform workload under low load."""
+    return _run_cells("Figure 7 (Uniform/Low)", "uniform", "low",
+                      GRID_ALPHAS, **kwargs)
+
+
+@dataclass
+class Figure3Result:
+    """Figure 3: failure rate over time, α = 100%, four panels."""
+
+    panels: dict[str, FigureResult] = field(default_factory=dict)
+
+    def render(self, every: int = 10) -> str:
+        blocks = []
+        for panel_name, fig in self.panels.items():
+            blocks.append(
+                format_comparison_table(
+                    fig.panel("failure_rate", 1.0),
+                    "failure_rate",
+                    f"Figure 3 — Failure rate, {panel_name} (alpha=100%)",
+                    every,
+                )
+            )
+        return "\n\n".join(blocks)
+
+
+def figure3_failure_rate(**kwargs) -> Figure3Result:
+    """Figure 3: transaction failure rate for all four workload panels."""
+    result = Figure3Result()
+    for dist, load, label in (
+        ("zipf", "high", "Zipf/High"),
+        ("uniform", "high", "Uniform/High"),
+        ("zipf", "low", "Zipf/Low"),
+        ("uniform", "low", "Uniform/Low"),
+    ):
+        result.panels[label] = _run_cells(
+            f"Figure 3 ({label})", dist, load, (1.0,), **kwargs
+        )
+    return result

@@ -1,0 +1,313 @@
+"""Experiment runner: assemble the system, run one evaluation cell.
+
+Mirrors the paper's procedure (§4.1): build the cluster and dataset,
+warm the system up for 10 intervals of pure normal traffic, then start
+the repartitioning with the chosen scheduler and measure per-interval
+RepRate / throughput / latency / failure rate until the run ends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional
+
+from ..cluster.cluster import Cluster
+from ..core.repartitioner import Repartitioner
+from ..core.schedulers import (
+    AfterAllScheduler,
+    ApplyAllScheduler,
+    FeedbackConfig,
+    FeedbackScheduler,
+    HybridScheduler,
+    PiggybackConfig,
+    PiggybackScheduler,
+    Scheduler,
+)
+from ..core.session import RepartitionSession
+from ..errors import ConfigError
+from ..metrics.collectors import IntervalRecord, MetricsCollector
+from ..metrics.report import summarise
+from ..partitioning.cost_model import CostModel
+from ..partitioning.optimizer import RepartitionOptimizer
+from ..routing.router import QueryRouter
+from ..sim.environment import Environment
+from ..sim.events import Event
+from ..sim.random import RandomStreams
+from ..txn.executor import ExecutorConfig, TransactionExecutor
+from ..txn.manager import TransactionManager, TransactionManagerConfig
+from ..txn.two_phase_commit import TwoPhaseCommitCoordinator
+from ..workload.arrivals import (
+    ArrivalConfig,
+    PoissonArrivalProcess,
+    calibrate_rate,
+)
+from ..workload.dataset import (
+    PlacementConfig,
+    choose_distributed_types,
+    initial_placement,
+    load_stores,
+    place_unprofiled_keys,
+)
+from ..workload.generator import WorkloadSampler, build_profile
+from ..workload.profile import WorkloadProfile
+from .config import ExperimentConfig
+from .tables import setpoint_for
+
+
+@dataclass
+class System:
+    """All assembled components of one experiment (exposed for examples)."""
+
+    config: ExperimentConfig
+    env: Environment
+    streams: RandomStreams
+    cluster: Cluster
+    profile: WorkloadProfile
+    distributed_type_ids: set[int]
+    router: QueryRouter
+    cost_model: CostModel
+    executor: TransactionExecutor
+    tm: TransactionManager
+    metrics: MetricsCollector
+    arrivals: PoissonArrivalProcess
+    repartitioner: Repartitioner
+    arrival_rate_txn_per_s: float
+    scheduler: Optional[Scheduler] = None
+    session: Optional[RepartitionSession] = None
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment run."""
+
+    config: ExperimentConfig
+    intervals: list[IntervalRecord]
+    repartition_start_interval: int
+    rep_ops_total: int
+    repartition_completed_at: Optional[float]
+    arrival_rate_txn_per_s: float
+    summary: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def measured(self) -> list[IntervalRecord]:
+        """Intervals from repartition start onward (the paper's x-axis)."""
+        return self.intervals[self.repartition_start_interval:]
+
+    @property
+    def completion_interval(self) -> Optional[int]:
+        """Interval index (relative to start) when RepRate hit 1.0."""
+        for i, record in enumerate(self.measured):
+            if record.rep_ops_total and record.rep_rate >= 1.0:
+                return i
+        return None
+
+
+def make_scheduler(
+    config: ExperimentConfig, normal_cost_hint: float
+) -> Scheduler:
+    """Instantiate the configured scheduling strategy."""
+    name = config.scheduler
+    sched_cfg = config.scheduling
+    if name == "ApplyAll":
+        return ApplyAllScheduler()
+    if name == "AfterAll":
+        return AfterAllScheduler()
+    if name == "Piggyback":
+        return PiggybackScheduler(
+            PiggybackConfig(max_ops_per_carrier=sched_cfg.max_ops_per_carrier)
+        )
+    setpoint = sched_cfg.setpoint
+    if setpoint is None:
+        setpoint = setpoint_for(
+            name, config.distribution, config.load, config.alpha
+        )
+    feedback_config = FeedbackConfig(
+        setpoint=setpoint,
+        kp=sched_cfg.kp,
+        ki=sched_cfg.ki,
+        kd=sched_cfg.kd,
+        max_promotions_per_interval=sched_cfg.max_promotions_per_interval,
+        normal_cost_hint=normal_cost_hint,
+    )
+    if name == "Feedback":
+        return FeedbackScheduler(feedback_config)
+    if name == "Hybrid":
+        return HybridScheduler(
+            feedback_config,
+            PiggybackConfig(max_ops_per_carrier=sched_cfg.max_ops_per_carrier),
+        )
+    raise ConfigError(f"unknown scheduler {name!r}")  # pragma: no cover
+
+
+def build_system(config: ExperimentConfig) -> System:
+    """Assemble every component of one experiment (does not run it)."""
+    env = Environment()
+    streams = RandomStreams(config.seed)
+    cluster = Cluster(env, config.cluster, streams)
+
+    profile = build_profile(config.workload)
+    distributed_ids = choose_distributed_types(
+        profile, config.alpha, streams.stream("placement")
+    )
+    pmap = initial_placement(profile, cluster.partition_ids, distributed_ids)
+    place_unprofiled_keys(
+        pmap, config.workload.tuple_count, cluster.partition_ids
+    )
+    load_stores(cluster, pmap, PlacementConfig(alpha=config.alpha),
+                streams.stream("values"))
+
+    router = QueryRouter(pmap)
+    cost_model = CostModel(
+        base_cost=config.cost.base_cost,
+        rep_op_cost=config.cost.rep_op_cost,
+        piggyback_discount=config.cost.piggyback_discount,
+    )
+    twopc = TwoPhaseCommitCoordinator(env, cluster.network)
+    executor = TransactionExecutor(
+        env,
+        cluster,
+        router,
+        cost_model,
+        twopc,
+        ExecutorConfig(
+            lock_timeout_s=config.runtime.lock_timeout_s,
+            rep_op_failure_probability=(
+                config.runtime.rep_op_failure_probability
+            ),
+            isolation=config.runtime.isolation,
+            per_txn_overhead_units=config.runtime.per_txn_overhead_units,
+        ),
+        rng=streams.stream("failures"),
+    )
+    tm_holder: list[TransactionManager] = []
+    metrics = MetricsCollector(
+        env,
+        interval_s=config.runtime.interval_s,
+        queue_length_probe=lambda: (
+            len(tm_holder[0].queue) if tm_holder else 0
+        ),
+    )
+    tm = TransactionManager(
+        env,
+        executor,
+        metrics,
+        TransactionManagerConfig(
+            max_concurrent=config.runtime.max_concurrent,
+            max_attempts=config.runtime.max_attempts,
+            retry_delay_s=config.runtime.retry_delay_s,
+            queue_timeout_s=config.runtime.queue_timeout_s,
+        ),
+    )
+    tm_holder.append(tm)
+
+    expected_cost = cost_model.expected_cost_per_txn(profile.types, pmap)
+    rate = calibrate_rate(
+        config.utilisation_target,
+        cluster.total_capacity_units_per_s,
+        expected_cost,
+    )
+    sampler = WorkloadSampler(
+        profile, config.workload, streams.stream("workload")
+    )
+    horizon = config.runtime.interval_s * (
+        config.runtime.warmup_intervals + config.runtime.measure_intervals
+    )
+    arrivals = PoissonArrivalProcess(
+        env,
+        tm,
+        sampler,
+        ArrivalConfig(
+            rate_txn_per_s=rate, interval_s=config.runtime.interval_s
+        ),
+        streams.stream("arrivals"),
+        horizon_s=horizon,
+    )
+    repartitioner = Repartitioner(env, tm, router, metrics, cost_model)
+    return System(
+        config=config,
+        env=env,
+        streams=streams,
+        cluster=cluster,
+        profile=profile,
+        distributed_type_ids=distributed_ids,
+        router=router,
+        cost_model=cost_model,
+        executor=executor,
+        tm=tm,
+        metrics=metrics,
+        arrivals=arrivals,
+        repartitioner=repartitioner,
+        arrival_rate_txn_per_s=rate,
+    )
+
+
+#: Optional hook rewriting the ranked spec list before deployment; used
+#: by the ablation benchmarks (granularity, ranking order).
+SpecTransform = Any
+
+
+def start_repartitioning(
+    system: System, spec_transform: Optional[SpecTransform] = None
+) -> RepartitionSession:
+    """Derive, rank, and begin deploying the repartition plan (now)."""
+    config = system.config
+    optimizer = RepartitionOptimizer(
+        system.cost_model, system.cluster.partition_ids
+    )
+    types_to_fix = [
+        t for t in system.profile.types
+        if t.type_id in system.distributed_type_ids
+    ]
+    plan = optimizer.derive_plan(
+        system.profile, system.router.partition_map, types_to_fix
+    )
+    normal_cost_hint = max(
+        system.arrival_rate_txn_per_s
+        * config.runtime.interval_s
+        * config.cost.base_cost,
+        config.cost.base_cost,
+    )
+    scheduler = make_scheduler(config, normal_cost_hint)
+    specs = system.repartitioner.rank_plan(plan, system.profile)
+    if spec_transform is not None:
+        specs = spec_transform(specs)
+    session = system.repartitioner.deploy(specs, scheduler)
+    system.scheduler = scheduler
+    system.session = session
+    return session
+
+
+def run_experiment(
+    config: ExperimentConfig,
+    spec_transform: Optional[SpecTransform] = None,
+) -> ExperimentResult:
+    """Run one evaluation cell start to finish."""
+    system = build_system(config)
+    env = system.env
+    interval_s = config.runtime.interval_s
+    warmup_s = interval_s * config.runtime.warmup_intervals
+
+    def kickoff() -> Generator[Event, Any, None]:
+        if warmup_s > 0:
+            yield env.timeout(warmup_s)
+        start_repartitioning(system, spec_transform)
+
+    env.process(kickoff())
+    horizon = warmup_s + interval_s * config.runtime.measure_intervals
+    env.run(until=horizon + 1e-9)
+
+    session = system.session
+    completed_at = None
+    if session is not None and session.completed.triggered:
+        completed_at = session.completed.value
+    intervals = system.metrics.intervals
+    result = ExperimentResult(
+        config=config,
+        intervals=intervals,
+        repartition_start_interval=config.runtime.warmup_intervals,
+        rep_ops_total=system.metrics.rep_ops_total,
+        repartition_completed_at=completed_at,
+        arrival_rate_txn_per_s=system.arrival_rate_txn_per_s,
+    )
+    result.summary = summarise(result.measured)
+    return result

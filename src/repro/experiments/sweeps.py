@@ -1,0 +1,119 @@
+"""Multi-seed sweeps and aggregate statistics.
+
+A single run of an experiment cell is one sample of a stochastic
+system.  :func:`sweep_seeds` repeats a cell across seeds and aggregates
+the summary metrics (mean, standard deviation, min, max), which is what
+a rigorous comparison of the schedulers should quote.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from .config import ExperimentConfig
+from .runner import ExperimentResult, run_experiment
+
+
+@dataclass(frozen=True)
+class MetricStats:
+    """Aggregate statistics of one metric across runs."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    samples: int
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "MetricStats":
+        """Compute stats (population std) over a non-empty sample."""
+        if not values:
+            raise ValueError("cannot aggregate an empty sample")
+        n = len(values)
+        mean = math.fsum(values) / n
+        variance = math.fsum((v - mean) ** 2 for v in values) / n
+        return cls(
+            mean=mean,
+            std=math.sqrt(variance),
+            minimum=min(values),
+            maximum=max(values),
+            samples=n,
+        )
+
+
+@dataclass
+class SweepResult:
+    """All runs of one cell across seeds, plus aggregates."""
+
+    config: ExperimentConfig
+    results: list[ExperimentResult] = field(default_factory=list)
+
+    def stats(self, metric: str) -> MetricStats:
+        """Aggregate one summary metric (e.g. ``mean_failure_rate``)."""
+        values = [result.summary[metric] for result in self.results]
+        return MetricStats.from_values(values)
+
+    def completion_intervals(self) -> list[Optional[int]]:
+        """Per-seed completion interval (None = did not finish)."""
+        return [result.completion_interval for result in self.results]
+
+    def completion_fraction(self) -> float:
+        """Fraction of seeds where the plan fully deployed."""
+        done = sum(
+            1 for c in self.completion_intervals() if c is not None
+        )
+        return done / len(self.results) if self.results else 0.0
+
+
+def sweep_seeds(
+    config: ExperimentConfig,
+    seeds: Sequence[int],
+    progress: Optional[Callable[[int], None]] = None,
+) -> SweepResult:
+    """Run ``config`` once per seed and collect the results."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    sweep = SweepResult(config=config)
+    for seed in seeds:
+        if progress is not None:
+            progress(seed)
+        sweep.results.append(
+            run_experiment(config.with_overrides(seed=seed))
+        )
+    return sweep
+
+
+def format_sweep_comparison(
+    sweeps: dict[str, SweepResult],
+    metrics: Sequence[str] = (
+        "mean_throughput_txn_per_min",
+        "mean_failure_rate",
+        "final_rep_rate",
+    ),
+) -> str:
+    """Mean ± std table across schedulers, one row per metric."""
+    names = list(sweeps)
+    width = max(18, max((len(n) for n in names), default=18) + 2)
+    lines = [
+        f"{'metric':<30} "
+        + " ".join(f"{name:>{width}}" for name in names)
+    ]
+    for metric in metrics:
+        cells = []
+        for name in names:
+            stats = sweeps[name].stats(metric)
+            cells.append(f"{stats.mean:.2f} ± {stats.std:.2f}")
+        lines.append(
+            f"{metric:<30} "
+            + " ".join(f"{cell:>{width}}" for cell in cells)
+        )
+    lines.append(
+        f"{'completion fraction':<30} "
+        + " ".join(
+            f"{sweeps[name].completion_fraction():>{width}.2f}"
+            for name in names
+        )
+    )
+    return "\n".join(lines)

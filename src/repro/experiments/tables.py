@@ -1,0 +1,88 @@
+"""Table 1: the SP (setpoint) values used in the paper's experiments.
+
+The setpoints are on the ``(normal + repartition) / normal`` cost-ratio
+scale (see :mod:`repro.core.schedulers.feedback` for the rationale).
+All experiments use the same controller gains: Kp = 1, Ki = 0, Kd = 0.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+
+#: Controller gains used across all paper experiments (§4.1).
+PAPER_GAINS = {"kp": 1.0, "ki": 0.0, "kd": 0.0}
+
+#: Table 1 — (algorithm, distribution, load, alpha) -> SP.
+SP_TABLE: dict[tuple[str, str, str, float], float] = {
+    # Feedback / Zipf
+    ("Feedback", "zipf", "high", 1.0): 1.05,
+    ("Feedback", "zipf", "high", 0.6): 1.05,
+    ("Feedback", "zipf", "high", 0.2): 1.10,
+    ("Feedback", "zipf", "low", 1.0): 1.05,
+    ("Feedback", "zipf", "low", 0.6): 1.03,
+    ("Feedback", "zipf", "low", 0.2): 1.015,
+    # Feedback / Uniform
+    ("Feedback", "uniform", "high", 1.0): 1.25,
+    ("Feedback", "uniform", "high", 0.6): 1.25,
+    ("Feedback", "uniform", "high", 0.2): 1.25,
+    ("Feedback", "uniform", "low", 1.0): 1.02,
+    ("Feedback", "uniform", "low", 0.6): 1.03,
+    ("Feedback", "uniform", "low", 0.2): 1.02,
+    # Hybrid / Zipf
+    ("Hybrid", "zipf", "high", 1.0): 1.05,
+    ("Hybrid", "zipf", "high", 0.6): 1.05,
+    ("Hybrid", "zipf", "high", 0.2): 1.05,
+    ("Hybrid", "zipf", "low", 1.0): 1.05,
+    ("Hybrid", "zipf", "low", 0.6): 1.03,
+    ("Hybrid", "zipf", "low", 0.2): 1.05,
+    # Hybrid / Uniform
+    ("Hybrid", "uniform", "high", 1.0): 1.05,
+    ("Hybrid", "uniform", "high", 0.6): 1.05,
+    ("Hybrid", "uniform", "high", 0.2): 1.05,
+    ("Hybrid", "uniform", "low", 1.0): 1.03,
+    ("Hybrid", "uniform", "low", 0.6): 1.05,
+    ("Hybrid", "uniform", "low", 0.2): 1.05,
+}
+
+
+def setpoint_for(
+    algorithm: str, distribution: str, load: str, alpha: float
+) -> float:
+    """Look up the Table 1 SP for an experiment cell.
+
+    ``alpha`` is matched to the nearest of the paper's {1.0, 0.6, 0.2}.
+    Algorithms without a feedback module (ApplyAll, AfterAll, Piggyback)
+    have no setpoint; asking for one is an error.
+    """
+    if algorithm not in ("Feedback", "Hybrid"):
+        raise ConfigError(f"{algorithm} has no feedback setpoint")
+    paper_alphas = (1.0, 0.6, 0.2)
+    nearest = min(paper_alphas, key=lambda a: abs(a - alpha))
+    key = (algorithm, distribution, load, nearest)
+    if key not in SP_TABLE:
+        raise ConfigError(f"no Table 1 entry for {key}")
+    return SP_TABLE[key]
+
+
+def format_table1() -> str:
+    """Render Table 1 in the paper's layout."""
+    lines = [
+        "Table 1: SP value for Experiments",
+        f"{'Algorithm':<10} {'Workload':<9} "
+        f"{'H a=100%':>9} {'H a=60%':>8} {'H a=20%':>8} "
+        f"{'L a=100%':>9} {'L a=60%':>8} {'L a=20%':>8}",
+    ]
+    for algorithm in ("Feedback", "Hybrid"):
+        for distribution in ("zipf", "uniform"):
+            cells = []
+            for load in ("high", "low"):
+                for alpha in (1.0, 0.6, 0.2):
+                    cells.append(
+                        SP_TABLE[(algorithm, distribution, load, alpha)]
+                    )
+            lines.append(
+                f"{algorithm:<10} {distribution.capitalize():<9} "
+                f"{cells[0]:>9} {cells[1]:>8} {cells[2]:>8} "
+                f"{cells[3]:>9} {cells[4]:>8} {cells[5]:>8}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,6 @@
+"""Two-phase locking substrate: lock managers and deadlock detection."""
+
+from .deadlock import DeadlockDetector, youngest_victim
+from .lock_manager import LockManager, LockMode
+
+__all__ = ["DeadlockDetector", "LockManager", "LockMode", "youngest_victim"]

@@ -1,0 +1,40 @@
+"""Metrics: per-interval collection, series extraction, text reports."""
+
+from .collectors import IntervalRecord, MetricsCollector
+from .export import (
+    INTERVAL_FIELDS,
+    interval_to_dict,
+    intervals_to_csv,
+    result_to_dict,
+    result_to_json,
+    save_result,
+)
+from .report import (
+    format_comparison_table,
+    format_interval_table,
+    format_sparkline_panel,
+    sparkline,
+    summarise,
+)
+from .series import area_under, first_index_reaching, mean, series, smooth
+
+__all__ = [
+    "INTERVAL_FIELDS",
+    "IntervalRecord",
+    "MetricsCollector",
+    "interval_to_dict",
+    "intervals_to_csv",
+    "result_to_dict",
+    "result_to_json",
+    "save_result",
+    "area_under",
+    "first_index_reaching",
+    "format_comparison_table",
+    "format_interval_table",
+    "format_sparkline_panel",
+    "sparkline",
+    "mean",
+    "series",
+    "smooth",
+    "summarise",
+]

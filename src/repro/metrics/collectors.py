@@ -1,0 +1,229 @@
+"""Per-interval metrics collection.
+
+The paper reports four per-interval series (20-second intervals):
+
+* **RepRate** — fraction of repartition operations applied so far;
+* **Throughput** — committed normal transactions per minute;
+* **Latency** — submission-to-finish time of normal transactions;
+* **Failure rate** — aborted / submitted transactions in the interval.
+
+The collector also accumulates the work-unit costs the Feedback
+scheduler's PV measurement needs: normal-transaction cost, the cost of
+high-priority (feedback-enforced) repartition transactions, low-priority
+(AfterAll-style) repartition cost, and piggybacked repartition cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
+
+from ..sim.events import Event
+from ..types import Priority
+from ..txn.transaction import Transaction
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.environment import Environment
+
+
+@dataclass
+class IntervalRecord:
+    """Everything measured during one interval."""
+
+    index: int
+    start: float
+    end: float
+
+    submitted: int = 0
+    committed: int = 0
+    aborted: int = 0
+
+    normal_submitted: int = 0
+    normal_committed: int = 0
+    normal_aborted: int = 0
+    rep_committed: int = 0
+    rep_aborted: int = 0
+
+    latency_sum: float = 0.0
+    latency_count: int = 0
+    latencies: list[float] = field(default_factory=list)
+
+    normal_cost: float = 0.0
+    rep_cost_high: float = 0.0
+    rep_cost_low: float = 0.0
+    rep_cost_piggyback: float = 0.0
+
+    rep_ops_applied_cumulative: int = 0
+    rep_ops_total: int = 0
+
+    queue_length_end: int = 0
+
+    # ------------------------------------------------------------------
+    # Derived series (the paper's y-axes)
+    # ------------------------------------------------------------------
+    @property
+    def duration(self) -> float:
+        """Interval length in virtual seconds."""
+        return self.end - self.start
+
+    @property
+    def throughput_txn_per_min(self) -> float:
+        """Committed normal transactions per minute."""
+        if self.duration <= 0:
+            return 0.0
+        return self.normal_committed * 60.0 / self.duration
+
+    @property
+    def mean_latency_s(self) -> float:
+        """Mean normal-transaction latency (0 when none committed)."""
+        if self.latency_count == 0:
+            return 0.0
+        return self.latency_sum / self.latency_count
+
+    @property
+    def mean_latency_ms(self) -> float:
+        """Mean latency in milliseconds (the paper's unit)."""
+        return self.mean_latency_s * 1000.0
+
+    @property
+    def failure_rate(self) -> float:
+        """Aborted / submitted transactions this interval."""
+        if self.submitted == 0:
+            return 0.0
+        return self.aborted / self.submitted
+
+    @property
+    def rep_rate(self) -> float:
+        """Fraction of repartition operations applied so far."""
+        if self.rep_ops_total == 0:
+            return 0.0
+        return self.rep_ops_applied_cumulative / self.rep_ops_total
+
+    @property
+    def pv_ratio(self) -> float:
+        """High-priority repartition cost / normal cost (Feedback's PV)."""
+        if self.normal_cost <= 0:
+            return 0.0
+        return self.rep_cost_high / self.normal_cost
+
+    @property
+    def pv_ratio_with_piggyback(self) -> float:
+        """PV counting piggybacked operations too (Hybrid's measurement)."""
+        if self.normal_cost <= 0:
+            return 0.0
+        return (self.rep_cost_high + self.rep_cost_piggyback) / self.normal_cost
+
+    def latency_percentile(self, percentile: float) -> float:
+        """Latency percentile in seconds (0 when nothing committed)."""
+        if not self.latencies:
+            return 0.0
+        if not 0 <= percentile <= 100:
+            raise ValueError(f"percentile out of range: {percentile}")
+        ordered = sorted(self.latencies)
+        rank = (percentile / 100.0) * (len(ordered) - 1)
+        low = int(rank)
+        high = min(low + 1, len(ordered) - 1)
+        fraction = rank - low
+        return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+class MetricsCollector:
+    """Accumulates transaction events into per-interval records."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        interval_s: float = 20.0,
+        queue_length_probe: Optional[Callable[[], int]] = None,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError(f"interval must be positive: {interval_s}")
+        self.env = env
+        self.interval_s = interval_s
+        self.queue_length_probe = queue_length_probe
+        self.intervals: list[IntervalRecord] = []
+        self.rep_ops_total = 0
+        self.rep_ops_applied = 0
+        #: Called with each record right after its interval closes; this
+        #: is how the repartition schedulers observe the system without
+        #: racing the collector's own clock.
+        self.interval_observers: list[Callable[[IntervalRecord], None]] = []
+        self._current = IntervalRecord(index=0, start=env.now, end=env.now)
+        self._ticker = env.process(self._tick_loop())
+
+    # ------------------------------------------------------------------
+    # Recording (called by the transaction manager / session)
+    # ------------------------------------------------------------------
+    def record_submitted(self, txn: Transaction) -> None:
+        """A transaction entered the processing queue."""
+        self._current.submitted += 1
+        if txn.is_normal:
+            self._current.normal_submitted += 1
+
+    def record_committed(self, txn: Transaction) -> None:
+        """A transaction committed; attribute its latency and cost."""
+        self._current.committed += 1
+        if txn.is_normal:
+            self._current.normal_committed += 1
+            latency = txn.latency
+            if latency is not None:
+                self._current.latency_sum += latency
+                self._current.latency_count += 1
+                self._current.latencies.append(latency)
+            self._current.normal_cost += txn.normal_cost_units
+            if txn.rep_cost_units > 0:
+                self._current.rep_cost_piggyback += txn.rep_cost_units
+        else:
+            self._current.rep_committed += 1
+            if txn.priority is Priority.LOW:
+                self._current.rep_cost_low += txn.rep_cost_units
+            else:
+                self._current.rep_cost_high += txn.rep_cost_units
+
+    def record_aborted(self, txn: Transaction) -> None:
+        """A transaction aborted."""
+        self._current.aborted += 1
+        if txn.is_normal:
+            self._current.normal_aborted += 1
+        else:
+            self._current.rep_aborted += 1
+
+    def record_rep_op_applied(self) -> None:
+        """One repartition operation took effect (committed)."""
+        self.rep_ops_applied += 1
+
+    def set_rep_ops_total(self, total: int) -> None:
+        """Register how many repartition operations the plan contains."""
+        self.rep_ops_total = total
+
+    # ------------------------------------------------------------------
+    # Interval machinery
+    # ------------------------------------------------------------------
+    @property
+    def current_interval(self) -> IntervalRecord:
+        """The interval currently being filled (not yet closed)."""
+        return self._current
+
+    @property
+    def last_closed(self) -> Optional[IntervalRecord]:
+        """The most recently completed interval, if any."""
+        return self.intervals[-1] if self.intervals else None
+
+    def _tick_loop(self) -> Generator[Event, Any, None]:
+        while True:
+            yield self.env.timeout(self.interval_s)
+            self._close_interval()
+
+    def _close_interval(self) -> None:
+        record = self._current
+        record.end = self.env.now
+        record.rep_ops_applied_cumulative = self.rep_ops_applied
+        record.rep_ops_total = self.rep_ops_total
+        if self.queue_length_probe is not None:
+            record.queue_length_end = self.queue_length_probe()
+        self.intervals.append(record)
+        self._current = IntervalRecord(
+            index=record.index + 1, start=self.env.now, end=self.env.now
+        )
+        for observer in list(self.interval_observers):
+            observer(record)

@@ -1,0 +1,105 @@
+"""Exporting experiment results to JSON and CSV.
+
+Benchmark and example runs print text tables; downstream analysis
+(plotting the figures, statistics across seeds) wants structured data.
+These helpers serialise :class:`IntervalRecord` sequences and whole
+:class:`~repro.experiments.runner.ExperimentResult` objects.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import TYPE_CHECKING, Any, Sequence
+
+from .collectors import IntervalRecord
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..experiments.runner import ExperimentResult
+
+#: The columns exported for each interval, in order.
+INTERVAL_FIELDS = (
+    "index",
+    "start",
+    "end",
+    "submitted",
+    "committed",
+    "aborted",
+    "normal_submitted",
+    "normal_committed",
+    "normal_aborted",
+    "rep_committed",
+    "rep_aborted",
+    "normal_cost",
+    "rep_cost_high",
+    "rep_cost_low",
+    "rep_cost_piggyback",
+    "queue_length_end",
+    # Derived series (the paper's y-axes):
+    "rep_rate",
+    "throughput_txn_per_min",
+    "mean_latency_ms",
+    "failure_rate",
+)
+
+
+def interval_to_dict(record: IntervalRecord) -> dict[str, Any]:
+    """One interval as a flat JSON-ready dict."""
+    return {field: getattr(record, field) for field in INTERVAL_FIELDS}
+
+
+def intervals_to_csv(records: Sequence[IntervalRecord]) -> str:
+    """Render intervals as CSV text (header + one row per interval)."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=INTERVAL_FIELDS)
+    writer.writeheader()
+    for record in records:
+        writer.writerow(interval_to_dict(record))
+    return buffer.getvalue()
+
+
+def result_to_dict(result: "ExperimentResult") -> dict[str, Any]:
+    """A whole experiment result as a JSON-ready dict."""
+    config = result.config
+    return {
+        "config": {
+            "name": config.name,
+            "seed": config.seed,
+            "scheduler": config.scheduler,
+            "distribution": config.distribution,
+            "load": config.load,
+            "alpha": config.alpha,
+            "node_count": config.cluster.node_count,
+            "capacity_units_per_s": config.cluster.capacity_units_per_s,
+            "tuple_count": config.workload.tuple_count,
+            "distinct_types": config.workload.distinct_types,
+            "interval_s": config.runtime.interval_s,
+            "warmup_intervals": config.runtime.warmup_intervals,
+            "measure_intervals": config.runtime.measure_intervals,
+        },
+        "arrival_rate_txn_per_s": result.arrival_rate_txn_per_s,
+        "rep_ops_total": result.rep_ops_total,
+        "repartition_start_interval": result.repartition_start_interval,
+        "repartition_completed_at": result.repartition_completed_at,
+        "completion_interval": result.completion_interval,
+        "summary": dict(result.summary),
+        "intervals": [interval_to_dict(r) for r in result.intervals],
+    }
+
+
+def result_to_json(result: "ExperimentResult", indent: int = 2) -> str:
+    """A whole experiment result as a JSON string."""
+    return json.dumps(result_to_dict(result), indent=indent)
+
+
+def save_result(result: "ExperimentResult", path: str) -> None:
+    """Write a result to ``path`` (.json or .csv by extension)."""
+    if path.endswith(".json"):
+        with open(path, "w") as handle:
+            handle.write(result_to_json(result))
+    elif path.endswith(".csv"):
+        with open(path, "w") as handle:
+            handle.write(intervals_to_csv(result.intervals))
+    else:
+        raise ValueError(f"unsupported export extension: {path!r}")

@@ -1,0 +1,125 @@
+"""Plain-text reporting of interval metrics (the benchmark harness output)."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from .collectors import IntervalRecord
+from .series import mean, series
+
+
+def format_interval_table(
+    intervals: Sequence[IntervalRecord],
+    every: int = 1,
+) -> str:
+    """Render per-interval rows as a fixed-width table."""
+    header = (
+        f"{'int':>4} {'RepRate':>8} {'Thru(t/m)':>10} {'Lat(ms)':>10} "
+        f"{'FailRate':>9} {'Queue':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    for record in intervals:
+        if record.index % every != 0:
+            continue
+        lines.append(
+            f"{record.index:>4} {record.rep_rate:>8.3f} "
+            f"{record.throughput_txn_per_min:>10.1f} "
+            f"{record.mean_latency_ms:>10.1f} {record.failure_rate:>9.3f} "
+            f"{record.queue_length_end:>6}"
+        )
+    return "\n".join(lines)
+
+
+def format_comparison_table(
+    results: Mapping[str, Sequence[IntervalRecord]],
+    metric: str,
+    title: str = "",
+    every: int = 10,
+) -> str:
+    """Side-by-side series for several schedulers, one column each.
+
+    This is the textual equivalent of one sub-figure in the paper: the
+    x-axis is the interval index, one column per scheduler line.
+    """
+    names = list(results)
+    width = max(10, max((len(n) for n in names), default=10) + 1)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"{'interval':>8} " + " ".join(f"{name:>{width}}" for name in names)
+    )
+    columns = {name: series(records, metric) for name, records in results.items()}
+    length = max((len(col) for col in columns.values()), default=0)
+    for i in range(0, length, every):
+        row = [f"{i:>8}"]
+        for name in names:
+            col = columns[name]
+            value = col[i] if i < len(col) else float("nan")
+            row.append(f"{value:>{width}.3f}")
+        lines.append(" ".join(row))
+    lines.append(
+        f"{'mean':>8} "
+        + " ".join(f"{mean(columns[name]):>{width}.3f}" for name in names)
+    )
+    return "\n".join(lines)
+
+
+_SPARK_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A unicode sparkline of a series (empty string for no data).
+
+    Used to give the textual figure renderings a visual line per
+    scheduler, e.g. ``▁▂▄▆▇███`` for a RepRate ramp.
+    """
+    if not values:
+        return ""
+    low = min(values)
+    high = max(values)
+    span = high - low
+    if span <= 0:
+        return _SPARK_BLOCKS[1] * len(values)
+    scale = len(_SPARK_BLOCKS) - 2
+    return "".join(
+        _SPARK_BLOCKS[1 + int((v - low) / span * scale)] for v in values
+    )
+
+
+def format_sparkline_panel(
+    results: Mapping[str, Sequence[IntervalRecord]],
+    metric: str,
+    title: str = "",
+) -> str:
+    """One line per scheduler: name, sparkline, min/max annotations."""
+    lines = [title] if title else []
+    width = max((len(name) for name in results), default=8)
+    for name, records in results.items():
+        values = series(records, metric)
+        if values:
+            annotation = f"min={min(values):.3g} max={max(values):.3g}"
+        else:
+            annotation = "no data"
+        lines.append(
+            f"{name:>{width}} {sparkline(values)}  {annotation}"
+        )
+    return "\n".join(lines)
+
+
+def summarise(intervals: Sequence[IntervalRecord]) -> dict[str, float]:
+    """Whole-run summary statistics for one experiment."""
+    return {
+        "mean_throughput_txn_per_min": mean(
+            series(intervals, "throughput_txn_per_min")
+        ),
+        "mean_latency_ms": mean(series(intervals, "mean_latency_ms")),
+        "mean_failure_rate": mean(series(intervals, "failure_rate")),
+        "final_rep_rate": intervals[-1].rep_rate if intervals else 0.0,
+        "total_committed": float(
+            sum(record.normal_committed for record in intervals)
+        ),
+        "total_aborted": float(
+            sum(record.aborted for record in intervals)
+        ),
+    }

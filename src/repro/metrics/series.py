@@ -1,0 +1,64 @@
+"""Time-series extraction and summary statistics over interval records."""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+from .collectors import IntervalRecord
+
+
+def series(
+    intervals: Sequence[IntervalRecord],
+    metric: str,
+) -> list[float]:
+    """Extract one named metric as a list, one value per interval.
+
+    ``metric`` is the name of any numeric attribute or property of
+    :class:`IntervalRecord` (e.g. ``"throughput_txn_per_min"``,
+    ``"failure_rate"``, ``"rep_rate"``, ``"mean_latency_ms"``).
+    """
+    return [float(getattr(record, metric)) for record in intervals]
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (0 for an empty sequence)."""
+    if not values:
+        return 0.0
+    return math.fsum(values) / len(values)
+
+
+def smooth(values: Sequence[float], window: int = 3) -> list[float]:
+    """Centred moving average used to de-noise plotted series."""
+    if window < 1:
+        raise ValueError(f"window must be >= 1: {window}")
+    if window == 1:
+        return list(values)
+    half = window // 2
+    result = []
+    for i in range(len(values)):
+        low = max(0, i - half)
+        high = min(len(values), i + half + 1)
+        result.append(math.fsum(values[low:high]) / (high - low))
+    return result
+
+
+def first_index_reaching(
+    values: Sequence[float],
+    threshold: float,
+    predicate: Callable[[float, float], bool] = lambda v, t: v >= t,
+) -> int:
+    """First interval index where the metric crosses ``threshold`` (-1 if never).
+
+    Used to measure repartition completion time: e.g. the first interval
+    where RepRate reaches 1.0.
+    """
+    for i, value in enumerate(values):
+        if predicate(value, threshold):
+            return i
+    return -1
+
+
+def area_under(values: Sequence[float]) -> float:
+    """Sum of the series (proxy for integral over the run)."""
+    return math.fsum(values)

@@ -1,0 +1,80 @@
+"""Static (workload-oblivious) partitioners: hash and range.
+
+These are the "basic algorithms using some static functions" the paper's
+related-work section contrasts with workload-aware approaches.  They are
+used to create the *initial* placement a workload-aware plan then
+improves on, and serve as baselines in the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import PartitioningError
+from ..types import PartitionId, TupleKey
+from .plan import PartitionPlan
+
+
+def _check_partitions(partitions: Sequence[PartitionId]) -> None:
+    if not partitions:
+        raise PartitioningError("need at least one partition")
+    if len(set(partitions)) != len(partitions):
+        raise PartitioningError(f"duplicate partition ids: {partitions}")
+
+
+class HashPartitioner:
+    """Assigns each key to ``partitions[key mod n]``."""
+
+    def __init__(self, partitions: Sequence[PartitionId]) -> None:
+        _check_partitions(partitions)
+        self.partitions = list(partitions)
+
+    def partition_of(self, key: TupleKey) -> PartitionId:
+        """Partition for one key."""
+        return self.partitions[key % len(self.partitions)]
+
+    def plan_for(self, keys: Sequence[TupleKey]) -> PartitionPlan:
+        """Build a full plan for ``keys``."""
+        plan = PartitionPlan()
+        for key in keys:
+            plan.assign(key, self.partition_of(key))
+        return plan
+
+
+class RangePartitioner:
+    """Splits the key space ``[0, key_space)`` into contiguous ranges."""
+
+    def __init__(
+        self, partitions: Sequence[PartitionId], key_space: int
+    ) -> None:
+        _check_partitions(partitions)
+        if key_space < 1:
+            raise PartitioningError(f"key space must be >= 1: {key_space}")
+        self.partitions = list(partitions)
+        self.key_space = key_space
+        n = len(self.partitions)
+        self._range_size = (key_space + n - 1) // n
+
+    def partition_of(self, key: TupleKey) -> PartitionId:
+        """Partition for one key."""
+        if not 0 <= key < self.key_space:
+            raise PartitioningError(
+                f"key {key} outside key space [0, {self.key_space})"
+            )
+        return self.partitions[key // self._range_size]
+
+    def boundaries(self) -> list[tuple[TupleKey, TupleKey]]:
+        """Half-open key ranges per partition, in partition order."""
+        result = []
+        for i in range(len(self.partitions)):
+            low = i * self._range_size
+            high = min(self.key_space, (i + 1) * self._range_size)
+            result.append((low, high))
+        return result
+
+    def plan_for(self, keys: Sequence[TupleKey]) -> PartitionPlan:
+        """Build a full plan for ``keys``."""
+        plan = PartitionPlan()
+        for key in keys:
+            plan.assign(key, self.partition_of(key))
+        return plan

@@ -1,0 +1,16 @@
+"""Query routing: the partition lookup table, query model, parser, router."""
+
+from .parser import QueryParseError, extract_partition_attribute, parse_query, parse_transaction
+from .partition_map import PartitionMap
+from .query import Query
+from .router import QueryRouter
+
+__all__ = [
+    "PartitionMap",
+    "Query",
+    "QueryParseError",
+    "QueryRouter",
+    "extract_partition_attribute",
+    "parse_query",
+    "parse_transaction",
+]

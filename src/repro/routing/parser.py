@@ -1,0 +1,78 @@
+"""A small SQL-subset parser that extracts partition attributes.
+
+The paper's prototype "implemented a query parser that reads a query and
+extracts the partition attributes of the target objects, which will be
+used for query routing".  This parser understands exactly the dialect
+the workload uses — single-tuple selects and updates keyed on the
+partition attribute ``key``:
+
+    SELECT value FROM accounts WHERE key = 42
+    UPDATE accounts SET value = 7 WHERE key = 42
+
+Whitespace and keyword case are insignificant.  Anything else raises
+:class:`QueryParseError` so routing bugs surface immediately instead of
+silently misrouting.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import ReproError
+from ..types import AccessMode
+from .query import Query
+
+
+class QueryParseError(ReproError):
+    """The query text does not match the supported dialect."""
+
+
+_SELECT_RE = re.compile(
+    r"^\s*SELECT\s+(?P<column>\w+)\s+FROM\s+(?P<table>\w+)\s+"
+    r"WHERE\s+key\s*=\s*(?P<key>-?\d+)\s*;?\s*$",
+    re.IGNORECASE,
+)
+
+_UPDATE_RE = re.compile(
+    r"^\s*UPDATE\s+(?P<table>\w+)\s+SET\s+value\s*=\s*(?P<value>-?\d+)\s+"
+    r"WHERE\s+key\s*=\s*(?P<key>-?\d+)\s*;?\s*$",
+    re.IGNORECASE,
+)
+
+
+def parse_query(text: str) -> Query:
+    """Parse one statement of the mini dialect into a :class:`Query`."""
+    match = _SELECT_RE.match(text)
+    if match:
+        return Query(
+            table=match.group("table"),
+            key=int(match.group("key")),
+            mode=AccessMode.READ,
+        )
+    match = _UPDATE_RE.match(text)
+    if match:
+        return Query(
+            table=match.group("table"),
+            key=int(match.group("key")),
+            mode=AccessMode.WRITE,
+            value=int(match.group("value")),
+        )
+    raise QueryParseError(f"unsupported query: {text!r}")
+
+
+def parse_transaction(statements: str) -> list[Query]:
+    """Parse a semicolon/newline-separated batch of statements."""
+    queries: list[Query] = []
+    for raw_line in statements.splitlines():
+        for raw in raw_line.split(";"):
+            stripped = raw.strip()
+            if stripped:
+                queries.append(parse_query(stripped))
+    if not queries:
+        raise QueryParseError("transaction contains no statements")
+    return queries
+
+
+def extract_partition_attribute(text: str) -> int:
+    """Return just the partition attribute (the key) of a statement."""
+    return parse_query(text).key

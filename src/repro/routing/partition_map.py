@@ -1,0 +1,125 @@
+"""The lookup table mapping tuples to the partitions holding their replicas.
+
+The paper's query router "maintains the mappings between data partitions
+and their resident nodes" and routes each query accordingly; this class
+is that mapping.  Replicas of a tuple always live on distinct partitions
+(a paper assumption), and the first replica in the tuple's list is the
+*primary* — the copy writes are routed to.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..errors import RoutingError
+from ..types import PartitionId, TupleKey
+
+
+class PartitionMap:
+    """Mutable key → replica-partition-list mapping."""
+
+    def __init__(self) -> None:
+        self._replicas: dict[TupleKey, list[PartitionId]] = {}
+        self.version = 0
+
+    def __len__(self) -> int:
+        return len(self._replicas)
+
+    def __contains__(self, key: TupleKey) -> bool:
+        return key in self._replicas
+
+    def keys(self) -> Iterator[TupleKey]:
+        """Iterate over all mapped keys."""
+        return iter(self._replicas)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def replicas_of(self, key: TupleKey) -> tuple[PartitionId, ...]:
+        """All partitions holding a replica of ``key`` (primary first)."""
+        replicas = self._replicas.get(key)
+        if replicas is None:
+            raise RoutingError(f"tuple {key} is not mapped to any partition")
+        return tuple(replicas)
+
+    def primary_of(self, key: TupleKey) -> PartitionId:
+        """The primary replica's partition."""
+        return self.replicas_of(key)[0]
+
+    def replica_count(self, key: TupleKey) -> int:
+        """Number of replicas of ``key``."""
+        return len(self.replicas_of(key))
+
+    def partition_sizes(self) -> dict[PartitionId, int]:
+        """Replica counts per partition (for balance checks)."""
+        sizes: dict[PartitionId, int] = {}
+        for replicas in self._replicas.values():
+            for pid in replicas:
+                sizes[pid] = sizes.get(pid, 0) + 1
+        return sizes
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def assign(self, key: TupleKey, partition_id: PartitionId) -> None:
+        """Initial placement of ``key`` with a single replica."""
+        if key in self._replicas:
+            raise RoutingError(f"tuple {key} is already mapped")
+        self._replicas[key] = [partition_id]
+        self.version += 1
+
+    def add_replica(self, key: TupleKey, partition_id: PartitionId) -> None:
+        """Record a new replica of ``key`` on ``partition_id``."""
+        replicas = self._replicas.get(key)
+        if replicas is None:
+            raise RoutingError(f"tuple {key} is not mapped to any partition")
+        if partition_id in replicas:
+            raise RoutingError(
+                f"tuple {key} already has a replica on partition {partition_id}"
+            )
+        replicas.append(partition_id)
+        self.version += 1
+
+    def remove_replica(self, key: TupleKey, partition_id: PartitionId) -> None:
+        """Drop the replica of ``key`` on ``partition_id``.
+
+        Removing the last replica is a consistency violation and raises.
+        """
+        replicas = self._replicas.get(key)
+        if replicas is None:
+            raise RoutingError(f"tuple {key} is not mapped to any partition")
+        if partition_id not in replicas:
+            raise RoutingError(
+                f"tuple {key} has no replica on partition {partition_id}"
+            )
+        if len(replicas) == 1:
+            raise RoutingError(
+                f"cannot remove the last replica of tuple {key}"
+            )
+        replicas.remove(partition_id)
+        self.version += 1
+
+    def move(
+        self, key: TupleKey, source: PartitionId, destination: PartitionId
+    ) -> None:
+        """Atomically relocate the replica of ``key`` from source to dest."""
+        replicas = self._replicas.get(key)
+        if replicas is None:
+            raise RoutingError(f"tuple {key} is not mapped to any partition")
+        if source not in replicas:
+            raise RoutingError(
+                f"tuple {key} has no replica on partition {source}"
+            )
+        if destination in replicas:
+            raise RoutingError(
+                f"tuple {key} already has a replica on partition {destination}"
+            )
+        replicas[replicas.index(source)] = destination
+        self.version += 1
+
+    def copy(self) -> "PartitionMap":
+        """Deep copy (used to freeze 'the original plan O' for costing)."""
+        clone = PartitionMap()
+        clone._replicas = {k: list(v) for k, v in self._replicas.items()}
+        clone.version = self.version
+        return clone

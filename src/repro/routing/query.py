@@ -1,0 +1,40 @@
+"""Query objects: the unit of data access inside a transaction.
+
+The paper's normal transactions contain 5 queries, each accessing one
+unique tuple, read-only or write with equal probability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..types import AccessMode, TupleKey
+
+
+@dataclass(frozen=True)
+class Query:
+    """A single-tuple access: read the tuple, or overwrite its value."""
+
+    table: str
+    key: TupleKey
+    mode: AccessMode
+    value: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.mode is AccessMode.WRITE and self.value is None:
+            object.__setattr__(self, "value", 0)
+
+    @property
+    def is_write(self) -> bool:
+        """Whether this query needs an exclusive lock."""
+        return self.mode is AccessMode.WRITE
+
+    def to_sql(self) -> str:
+        """Render as the mini-SQL dialect understood by the parser."""
+        if self.is_write:
+            return (
+                f"UPDATE {self.table} SET value = {self.value} "
+                f"WHERE key = {self.key}"
+            )
+        return f"SELECT value FROM {self.table} WHERE key = {self.key}"

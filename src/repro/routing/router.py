@@ -1,0 +1,78 @@
+"""The query router: lookup-table routing of queries to partitions.
+
+Responsibilities (paper §2.1): maintain the partition map, decide which
+replica a read visits, route writes to every replica, and — during
+repartitioning — apply the repartitioner's map updates atomically at
+repartition-transaction commit.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Optional
+
+from ..errors import RoutingError
+from ..types import AccessMode, PartitionId, TupleKey
+from .partition_map import PartitionMap
+from .query import Query
+
+
+class QueryRouter:
+    """Routes single-tuple queries using a :class:`PartitionMap`.
+
+    ``read_policy`` selects which replica serves a read:
+
+    * ``"primary"`` (default) — always the primary replica, matching the
+      single-replica configuration the paper evaluates;
+    * ``"random"`` — a uniformly random replica, for replicated setups.
+    """
+
+    def __init__(
+        self,
+        partition_map: PartitionMap,
+        read_policy: str = "primary",
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if read_policy not in ("primary", "random"):
+            raise RoutingError(f"unknown read policy {read_policy!r}")
+        if read_policy == "random" and rng is None:
+            raise RoutingError("random read policy requires an rng")
+        self.partition_map = partition_map
+        self.read_policy = read_policy
+        self._rng = rng
+        self.reads_routed = 0
+        self.writes_routed = 0
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def route_read(self, key: TupleKey) -> PartitionId:
+        """Partition that serves a read of ``key``."""
+        self.reads_routed += 1
+        replicas = self.partition_map.replicas_of(key)
+        if self.read_policy == "primary" or len(replicas) == 1:
+            return replicas[0]
+        assert self._rng is not None
+        return self._rng.choice(replicas)
+
+    def route_write(self, key: TupleKey) -> tuple[PartitionId, ...]:
+        """Partitions a write of ``key`` must update (all replicas)."""
+        self.writes_routed += 1
+        return self.partition_map.replicas_of(key)
+
+    def route_query(self, query: Query) -> tuple[PartitionId, ...]:
+        """Partitions ``query`` touches."""
+        if query.mode is AccessMode.READ:
+            return (self.route_read(query.key),)
+        return self.route_write(query.key)
+
+    def partitions_for(self, queries: Iterable[Query]) -> frozenset[PartitionId]:
+        """The set of partitions a whole transaction touches."""
+        involved: set[PartitionId] = set()
+        for query in queries:
+            involved.update(self.route_query(query))
+        return frozenset(involved)
+
+    def is_distributed(self, queries: Iterable[Query]) -> bool:
+        """Whether the transaction spans more than one partition."""
+        return len(self.partitions_for(queries)) > 1

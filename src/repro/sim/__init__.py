@@ -1,0 +1,39 @@
+"""Discrete-event simulation kernel used as the substrate for the cluster.
+
+Public surface:
+
+* :class:`Environment` — virtual clock and event loop.
+* :class:`Event`, :class:`Timeout`, :class:`Process`, :class:`Interrupt`,
+  :class:`AllOf`, :class:`AnyOf` — event primitives.
+* :class:`Resource`, :class:`WorkServer` — capacity modelling.
+* :class:`Network` — inter-node message delays.
+* :class:`RandomStreams`, :class:`ZipfSampler`, :func:`poisson` — seeded
+  randomness.
+"""
+
+from .environment import EmptySchedule, Environment
+from .events import AllOf, AnyOf, Event, EventState, Interrupt, Process, Timeout
+from .network import Network
+from .random import RandomStreams, ZipfSampler, derive_seed, poisson, weighted_choice
+from .resources import Request, Resource, WorkServer
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "EmptySchedule",
+    "Environment",
+    "Event",
+    "EventState",
+    "Interrupt",
+    "Network",
+    "Process",
+    "RandomStreams",
+    "Request",
+    "Resource",
+    "Timeout",
+    "WorkServer",
+    "ZipfSampler",
+    "derive_seed",
+    "poisson",
+    "weighted_choice",
+]

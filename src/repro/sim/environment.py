@@ -1,0 +1,129 @@
+"""The discrete-event simulation environment (virtual clock + event loop)."""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Generator, Optional
+
+from .events import AllOf, AnyOf, Event, EventState, Process, Timeout
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class Environment:
+    """Coordinates virtual time and executes scheduled events in order.
+
+    Events scheduled for the same instant are executed in the order they
+    were scheduled (a monotonically increasing sequence number breaks
+    ties), which makes runs fully deterministic.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._seq = count()
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Factories
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """Create a new untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that succeeds ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any]) -> Process:
+        """Start ``generator`` as a simulation process."""
+        return Process(self, generator)
+
+    def all_of(self, events: list[Event]) -> AllOf:
+        """Event that succeeds once every event in ``events`` has."""
+        return AllOf(self, events)
+
+    def any_of(self, events: list[Event]) -> AnyOf:
+        """Event that succeeds once any event in ``events`` has."""
+        return AnyOf(self, events)
+
+    # ------------------------------------------------------------------
+    # Scheduling internals (used by the event classes)
+    # ------------------------------------------------------------------
+    def _schedule_at(self, when: float, event: Event) -> None:
+        if when < self._now:
+            raise ValueError(f"cannot schedule into the past ({when} < {self._now})")
+        heapq.heappush(self._queue, (when, next(self._seq), event))
+
+    def _enqueue_triggered(self, event: Event) -> None:
+        """Queue a just-triggered event's callbacks to run at the current time."""
+        if isinstance(event, Timeout):
+            # Timeouts are already in the heap; their trigger happens when
+            # the heap pops them, so nothing more to do.
+            pass
+        heapq.heappush(self._queue, (self._now, next(self._seq), event))
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``float('inf')``."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._queue:
+            raise EmptySchedule()
+        when, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        if isinstance(event, Timeout) and not event.triggered:
+            # A timeout triggers exactly when it is popped.
+            event._state = EventState.SUCCEEDED
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+        if event.failed and not event.defused:
+            raise event.value  # unhandled failure escalates to the caller
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be a time (run up to and including that instant), an
+        :class:`Event` (run until it triggers, returning its value), or
+        ``None`` (run until no events remain).
+        """
+        if isinstance(until, Event):
+            stop_event = until
+            while not stop_event.triggered:
+                try:
+                    self.step()
+                except EmptySchedule:
+                    raise RuntimeError(
+                        "simulation ran out of events before the awaited "
+                        "event triggered"
+                    ) from None
+            if stop_event.failed:
+                stop_event.defused = True
+                raise stop_event.value
+            return stop_event.value
+
+        if until is not None:
+            horizon = float(until)
+            if horizon < self._now:
+                raise ValueError(f"cannot run backwards to {horizon}")
+            while self._queue and self._queue[0][0] <= horizon:
+                self.step()
+            self._now = horizon
+            return None
+
+        while self._queue:
+            self.step()
+        return None

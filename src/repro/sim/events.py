@@ -1,0 +1,287 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+The kernel follows the classic process-interaction style (as popularised by
+SimPy): simulation logic is written as Python generators that ``yield``
+events; the :class:`~repro.sim.environment.Environment` advances virtual
+time and resumes each generator when the event it waits on is triggered.
+
+Only the pieces the SOAP reproduction needs are implemented, but they are
+implemented completely: success/failure propagation, process interruption,
+and ``AllOf``/``AnyOf`` composition.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .environment import Environment
+
+
+class EventState(enum.Enum):
+    """Lifecycle states of an :class:`Event`."""
+
+    PENDING = "pending"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+
+
+class Event:
+    """A condition that may be triggered once at some point in virtual time.
+
+    Processes wait on events by yielding them.  An event carries a *value*
+    (delivered to waiters on success) or an *exception* (raised inside
+    waiters on failure).
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._state = EventState.PENDING
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        #: Set by the environment when a failed event's exception was
+        #: delivered to at least one waiter (or explicitly defused).
+        self.defused = False
+
+    # ------------------------------------------------------------------
+    # State inspection
+    # ------------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """``True`` once the event has succeeded or failed."""
+        return self._state is not EventState.PENDING
+
+    @property
+    def ok(self) -> bool:
+        """``True`` when the event succeeded."""
+        return self._state is EventState.SUCCEEDED
+
+    @property
+    def failed(self) -> bool:
+        """``True`` when the event failed."""
+        return self._state is EventState.FAILED
+
+    @property
+    def value(self) -> Any:
+        """The success value, or the failure exception."""
+        if self._state is EventState.FAILED:
+            return self._exception
+        return self._value
+
+    # ------------------------------------------------------------------
+    # Triggering
+    # ------------------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._state = EventState.SUCCEEDED
+        self._value = value
+        self.env._enqueue_triggered(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with ``exception``."""
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._state = EventState.FAILED
+        self._exception = exception
+        self.env._enqueue_triggered(self)
+        return self
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self._state.value} at t={self.env.now}>"
+
+
+class Timeout(Event):
+    """An event that succeeds after ``delay`` units of virtual time."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._value = value
+        env._schedule_at(env.now + delay, self)
+
+    def succeed(self, value: Any = None) -> "Event":  # pragma: no cover
+        raise RuntimeError("Timeout events trigger themselves")
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    The interrupting party supplies ``cause``, available as
+    ``interrupt.cause`` to the interrupted process.
+    """
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class Process(Event):
+    """Wraps a generator so it can run as a simulation process.
+
+    The process *is itself an event*: it succeeds with the generator's
+    return value, or fails with an uncaught exception, so other processes
+    may wait on its completion.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator[Event, Any, Any]) -> None:
+        if not hasattr(generator, "send"):
+            raise TypeError(f"process requires a generator, got {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        self._wait_callback: Optional[Callable[[Event], None]] = None
+        # Kick the process off via an immediately-succeeding event.
+        start = Event(env)
+        start.callbacks.append(self._resume)
+        start.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """``True`` while the underlying generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a process
+        that is waiting on an event detaches it from that event first.
+        """
+        if self.triggered:
+            raise RuntimeError("cannot interrupt a finished process")
+        if self._waiting_on is self:
+            raise RuntimeError("a process cannot interrupt itself")
+        waiting_on = self._waiting_on
+        if (
+            waiting_on is not None
+            and waiting_on.callbacks is not None
+            and self._wait_callback is not None
+        ):
+            try:
+                waiting_on.callbacks.remove(self._wait_callback)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+        self._waiting_on = None
+        self._wait_callback = None
+        poke = Event(self.env)
+        poke.callbacks.append(lambda _ev: self._throw(Interrupt(cause)))
+        poke.succeed()
+
+    # ------------------------------------------------------------------
+    # Internal stepping
+    # ------------------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        self._wait_callback = None
+        try:
+            if event.failed:
+                event.defused = True
+                target = self._generator.throw(event.value)
+            else:
+                target = self._generator.send(event.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - kernel boundary
+            self.fail(exc)
+            return
+        self._wait_on(target)
+
+    def _throw(self, exc: BaseException) -> None:
+        if self.triggered:  # interrupted after finishing in the same tick
+            return
+        try:
+            target = self._generator.throw(exc)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as raised:  # noqa: BLE001 - kernel boundary
+            self.fail(raised)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        if not isinstance(target, Event):
+            self._throw(TypeError(f"process yielded a non-event: {target!r}"))
+            return
+        if target.triggered:
+            # Already done: resume on the next tick to keep ordering fair,
+            # via a proxy event so an interrupt can still detach us.
+            proxy = Event(self.env)
+
+            def forward(_proxy: Event, target: Event = target) -> None:
+                self._resume(target)
+
+            assert proxy.callbacks is not None
+            proxy.callbacks.append(forward)
+            proxy.succeed()
+            self._waiting_on = proxy
+            self._wait_callback = forward
+            return
+        assert target.callbacks is not None
+        target.callbacks.append(self._resume)
+        self._waiting_on = target
+        self._wait_callback = self._resume
+
+
+class Condition(Event):
+    """Base for composite events over a set of child events."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("all events must belong to the same environment")
+        self._count = 0
+        if not self._events:
+            self.succeed(self._collect())
+            return
+        for event in self._events:
+            if event.triggered:
+                self._on_child(event)
+            else:
+                assert event.callbacks is not None
+                event.callbacks.append(self._on_child)
+
+    def _collect(self) -> dict[Event, Any]:
+        return {event: event.value for event in self._events if event.ok}
+
+    def _on_child(self, event: Event) -> None:
+        if event.failed:
+            # Always defuse: a child failing after the condition already
+            # triggered must not escalate to the event loop.
+            event.defused = True
+        if self.triggered:
+            return
+        if event.failed:
+            self.fail(event.value)
+            return
+        self._count += 1
+        if self._satisfied():
+            self.succeed(self._collect())
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(Condition):
+    """Succeeds when *all* child events have succeeded."""
+
+    def _satisfied(self) -> bool:
+        return self._count == len(self._events)
+
+
+class AnyOf(Condition):
+    """Succeeds when *any* child event has succeeded."""
+
+    def _satisfied(self) -> bool:
+        return self._count >= 1

@@ -1,0 +1,73 @@
+"""A simple latency/bandwidth network model between cluster nodes.
+
+The paper's testbed is an EC2 cluster, where inter-node messages (2PC
+votes, tuple transfers during migration) cost a fixed propagation latency
+plus a size-dependent transmission time.  That is exactly what this module
+models; contention on links is not modelled because the paper's bottleneck
+is node capacity and lock contention, not network saturation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from .events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .environment import Environment
+
+
+class Network:
+    """Point-to-point message delays between nodes.
+
+    Parameters
+    ----------
+    latency_s:
+        One-way propagation delay in seconds for any message.
+    bandwidth_bytes_per_s:
+        Link throughput used to charge large payloads (tuple migration).
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        latency_s: float = 0.0005,
+        bandwidth_bytes_per_s: float = 100e6,
+    ) -> None:
+        if latency_s < 0:
+            raise ValueError(f"negative latency: {latency_s}")
+        if bandwidth_bytes_per_s <= 0:
+            raise ValueError(f"bandwidth must be positive: {bandwidth_bytes_per_s}")
+        self.env = env
+        self.latency_s = latency_s
+        self.bandwidth_bytes_per_s = bandwidth_bytes_per_s
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    def delay_for(self, payload_bytes: int = 0) -> float:
+        """Seconds needed to deliver a message of ``payload_bytes``."""
+        if payload_bytes < 0:
+            raise ValueError(f"negative payload: {payload_bytes}")
+        return self.latency_s + payload_bytes / self.bandwidth_bytes_per_s
+
+    def transfer(
+        self, source: Any, destination: Any, payload_bytes: int = 0
+    ) -> Generator[Event, Any, None]:
+        """Process generator that waits for one message delivery.
+
+        ``source`` and ``destination`` are accepted for interface symmetry
+        (and so subclasses can model per-pair latencies); a transfer between
+        a node and itself is free.
+        """
+        if source == destination:
+            return
+        self.messages_sent += 1
+        self.bytes_sent += payload_bytes
+        yield self.env.timeout(self.delay_for(payload_bytes))
+
+    def round_trip(
+        self, source: Any, destination: Any, payload_bytes: int = 0
+    ) -> Generator[Event, Any, None]:
+        """Process generator for a request/response pair."""
+        yield from self.transfer(source, destination, payload_bytes)
+        yield from self.transfer(destination, source, 0)

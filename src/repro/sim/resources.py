@@ -1,0 +1,158 @@
+"""Shared-capacity resources for the simulation kernel.
+
+Two abstractions are provided:
+
+* :class:`Resource` — a counted semaphore with a FIFO wait queue, used to
+  model bounded concurrency (e.g. a node's connection limit).
+* :class:`WorkServer` — a processor-sharing-free, slot-based work server
+  used to model a node's CPU/IO capacity: callers submit an amount of
+  *work units* and are delayed by ``units / rate`` once a slot is free.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from .events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .environment import Environment
+
+
+class Request(Event):
+    """A pending or granted claim on a :class:`Resource` slot."""
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        self.granted = False
+
+
+class Resource:
+    """A counted resource with FIFO granting.
+
+    Usage from a process::
+
+        request = resource.request()
+        yield request
+        try:
+            ...  # hold the slot
+        finally:
+            resource.release(request)
+    """
+
+    def __init__(self, env: "Environment", capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiting: deque[Request] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently granted slots."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiting)
+
+    def request(self) -> Request:
+        """Ask for a slot; the returned event succeeds when granted."""
+        req = Request(self)
+        if self._in_use < self.capacity:
+            self._grant(req)
+        else:
+            self._waiting.append(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a slot previously granted to ``request``."""
+        if not request.granted:
+            # The request never got a slot (e.g. the owner aborted while
+            # waiting); just drop it from the queue.
+            try:
+                self._waiting.remove(request)
+            except ValueError:
+                pass
+            return
+        request.granted = False
+        self._in_use -= 1
+        while self._waiting and self._in_use < self.capacity:
+            self._grant(self._waiting.popleft())
+
+    def cancel(self, request: Request) -> None:
+        """Withdraw a request (granted or not)."""
+        self.release(request)
+
+    def _grant(self, request: Request) -> None:
+        request.granted = True
+        self._in_use += 1
+        request.succeed(request)
+
+
+class WorkServer:
+    """Models a node's processing capacity in *work units per second*.
+
+    ``concurrency`` slots are served simultaneously; each admitted job
+    takes ``units / rate`` seconds of virtual time.  With ``concurrency``
+    equal to one, the server is an M/G/1-style queue — this is how data
+    node CPUs are modelled so that saturation produces queueing delay, the
+    central dynamic in the paper's high-load experiments.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        rate: float,
+        concurrency: int = 1,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self.env = env
+        self.rate = float(rate)
+        self._resource = Resource(env, concurrency)
+        self._busy_until = 0.0
+        self._total_busy_time = 0.0
+
+    @property
+    def queue_length(self) -> int:
+        """Jobs waiting for a serving slot."""
+        return self._resource.queue_length
+
+    @property
+    def in_service(self) -> int:
+        """Jobs currently being served."""
+        return self._resource.in_use
+
+    @property
+    def total_busy_time(self) -> float:
+        """Cumulative virtual time spent serving work (for utilisation)."""
+        return self._total_busy_time
+
+    def service_time(self, units: float) -> float:
+        """Seconds of service required for ``units`` of work."""
+        if units < 0:
+            raise ValueError(f"negative work: {units}")
+        return units / self.rate
+
+    def work(self, units: float) -> Generator[Event, Any, None]:
+        """Process generator: queue for a slot, then serve ``units``."""
+        request = self._resource.request()
+        yield request
+        try:
+            duration = self.service_time(units)
+            self._total_busy_time += duration
+            yield self.env.timeout(duration)
+        finally:
+            self._resource.release(request)
+
+    def utilisation(self, elapsed: Optional[float] = None) -> float:
+        """Fraction of elapsed time this server spent busy."""
+        horizon = self.env.now if elapsed is None else elapsed
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self._total_busy_time / horizon)

@@ -1,0 +1,18 @@
+"""In-memory storage substrate: records, partition stores, and the catalog."""
+
+from .catalog import Catalog, TableSchema
+from .partition_store import PartitionStore
+from .record import DEFAULT_TUPLE_SIZE_BYTES, Record
+from .wal import WalRecord, WalRecordType, WriteAheadLog, recover
+
+__all__ = [
+    "Catalog",
+    "DEFAULT_TUPLE_SIZE_BYTES",
+    "PartitionStore",
+    "Record",
+    "TableSchema",
+    "WalRecord",
+    "WalRecordType",
+    "WriteAheadLog",
+    "recover",
+]

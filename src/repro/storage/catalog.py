@@ -1,0 +1,60 @@
+"""Schema catalog: table definitions shared by router and workload.
+
+The paper uses a single table of 500,000 8-byte tuples; the catalog
+nevertheless supports several tables so the library generalises beyond
+the paper's exact setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import StorageError
+from ..types import TupleKey
+from .record import DEFAULT_TUPLE_SIZE_BYTES
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Static description of one table."""
+
+    name: str
+    tuple_count: int
+    tuple_size_bytes: int = DEFAULT_TUPLE_SIZE_BYTES
+
+    def __post_init__(self) -> None:
+        if self.tuple_count < 0:
+            raise StorageError(f"negative tuple count for table {self.name}")
+        if self.tuple_size_bytes <= 0:
+            raise StorageError(f"non-positive tuple size for table {self.name}")
+
+    def contains_key(self, key: TupleKey) -> bool:
+        """Whether ``key`` falls in this table's key space ``[0, n)``."""
+        return 0 <= key < self.tuple_count
+
+
+class Catalog:
+    """Registry of table schemas."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, TableSchema] = {}
+
+    def add_table(self, schema: TableSchema) -> None:
+        """Register a table; re-registering a name is an error."""
+        if schema.name in self._tables:
+            raise StorageError(f"table {schema.name!r} already registered")
+        self._tables[schema.name] = schema
+
+    def table(self, name: str) -> TableSchema:
+        """Look up a table schema by name."""
+        schema = self._tables.get(name)
+        if schema is None:
+            raise StorageError(f"unknown table {name!r}")
+        return schema
+
+    def tables(self) -> list[TableSchema]:
+        """All registered schemas, in registration order."""
+        return list(self._tables.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables

@@ -1,0 +1,87 @@
+"""Per-partition in-memory tuple store.
+
+Each data node hosts exactly one partition (as in the paper's 5-node /
+5-partition EC2 setup), and the store is a hash index from key to
+:class:`~repro.storage.record.Record`.  The store tracks insert/delete
+counters so tests and benchmarks can assert on repartitioning activity.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..errors import StorageError
+from ..types import PartitionId, TupleKey
+from .record import Record
+
+
+class PartitionStore:
+    """Holds the replicas of tuples resident on one partition."""
+
+    def __init__(self, partition_id: PartitionId) -> None:
+        self.partition_id = partition_id
+        self._records: dict[TupleKey, Record] = {}
+        self.inserts = 0
+        self.deletes = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: TupleKey) -> bool:
+        return key in self._records
+
+    def keys(self) -> Iterator[TupleKey]:
+        """Iterate over resident keys."""
+        return iter(self._records)
+
+    def get(self, key: TupleKey) -> Record:
+        """Fetch the resident record for ``key``.
+
+        Raises :class:`StorageError` if the tuple is not resident here —
+        that indicates a routing bug, never a user error.
+        """
+        record = self._records.get(key)
+        if record is None:
+            raise StorageError(
+                f"tuple {key} not resident on partition {self.partition_id}"
+            )
+        return record
+
+    def peek(self, key: TupleKey) -> Optional[Record]:
+        """Fetch the record if resident, else ``None``."""
+        return self._records.get(key)
+
+    def insert(self, record: Record) -> None:
+        """Insert a replica; duplicates are a consistency violation."""
+        if record.key in self._records:
+            raise StorageError(
+                f"tuple {record.key} already resident on partition "
+                f"{self.partition_id}"
+            )
+        self._records[record.key] = record
+        self.inserts += 1
+
+    def upsert(self, record: Record) -> None:
+        """Insert or overwrite a replica (used when replaying migrations)."""
+        if record.key not in self._records:
+            self.inserts += 1
+        self._records[record.key] = record
+
+    def delete(self, key: TupleKey) -> Record:
+        """Remove and return the replica of ``key``."""
+        record = self._records.pop(key, None)
+        if record is None:
+            raise StorageError(
+                f"cannot delete tuple {key}: not resident on partition "
+                f"{self.partition_id}"
+            )
+        self.deletes += 1
+        return record
+
+    def read(self, key: TupleKey) -> int:
+        """Read the payload of ``key``."""
+        return self.get(key).value
+
+    def write(self, key: TupleKey, value: int) -> None:
+        """Write the payload of ``key``."""
+        self.get(key).write(value)

@@ -1,0 +1,40 @@
+"""Tuple records stored by the data nodes.
+
+The paper's table holds 500,000 tuples, each with a globally unique key
+field and an integer content field, 8 bytes per tuple.  :class:`Record`
+mirrors that, with a version counter so replica divergence can be
+detected by tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..types import TupleKey
+
+#: The paper's tuple size, used to charge network transfer during migration.
+DEFAULT_TUPLE_SIZE_BYTES = 8
+
+
+@dataclass
+class Record:
+    """One tuple: a unique key, an integer payload, and bookkeeping."""
+
+    key: TupleKey
+    value: int = 0
+    size_bytes: int = DEFAULT_TUPLE_SIZE_BYTES
+    version: int = field(default=0)
+
+    def write(self, value: int) -> None:
+        """Overwrite the payload, bumping the version."""
+        self.value = value
+        self.version += 1
+
+    def copy(self) -> "Record":
+        """Deep copy used when creating a replica on another partition."""
+        return Record(
+            key=self.key,
+            value=self.value,
+            size_bytes=self.size_bytes,
+            version=self.version,
+        )

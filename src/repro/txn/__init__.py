@@ -1,0 +1,29 @@
+"""Transaction layer: transactions, queue, 2PC, executor, manager."""
+
+from .executor import COORDINATOR_NODE_ID, ExecutorConfig, TransactionExecutor
+from .manager import (
+    NullScheduler,
+    TransactionManager,
+    TransactionManagerConfig,
+)
+from .queue import ProcessingQueue
+from .transaction import Transaction
+from .two_phase_commit import (
+    CommitOutcome,
+    TwoPhaseCommitConfig,
+    TwoPhaseCommitCoordinator,
+)
+
+__all__ = [
+    "COORDINATOR_NODE_ID",
+    "CommitOutcome",
+    "ExecutorConfig",
+    "NullScheduler",
+    "ProcessingQueue",
+    "Transaction",
+    "TransactionExecutor",
+    "TransactionManager",
+    "TransactionManagerConfig",
+    "TwoPhaseCommitConfig",
+    "TwoPhaseCommitCoordinator",
+]

@@ -1,0 +1,547 @@
+"""Transaction execution: locking, work, repartition ops, commit, undo.
+
+The executor turns a :class:`~repro.txn.transaction.Transaction` into a
+simulation process implementing strict two-phase locking:
+
+1. route each query, acquire the tuple lock (S for reads, X for writes)
+   at the owning node, and charge the query's work to that node;
+2. execute any repartition operations the transaction carries (its own,
+   if it is a repartition transaction, or piggybacked ones) — locking at
+   source *and* destination, charging copy work, and moving bytes across
+   the network;
+3. run two-phase commit when more than one partition participated;
+4. on commit, apply deferred effects (tuple deletions at migration
+   sources, partition-map updates) and release all locks;
+5. on abort (deadlock, lock timeout, injected failure, 2PC NO vote),
+   undo every applied write and inserted replica, release locks, and
+   report the failure.
+
+Cost model hookup: a transaction whose queries span one partition is
+charged ``C`` in total, one spanning several is charged ``2·C`` (§3.1) —
+the extra work is exactly the overhead the repartition plan removes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
+
+from ..cluster.cluster import Cluster
+from ..cluster.node import DataNode
+from ..errors import LockTimeout, TransactionAborted
+from ..locking.lock_manager import LockMode
+from ..partitioning.cost_model import CostModel
+from ..partitioning.operations import (
+    CreateReplica,
+    DeleteReplica,
+    Migrate,
+    RepartitionOperation,
+)
+from ..routing.query import Query
+from ..routing.router import QueryRouter
+from ..sim.events import Event
+from ..types import AccessMode, PartitionId, TxnStatus
+from .transaction import Transaction
+from .two_phase_commit import TwoPhaseCommitCoordinator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.environment import Environment
+
+#: Node id used for the coordinator (the query-router/TM machine).
+COORDINATOR_NODE_ID = -1
+
+
+@dataclass(frozen=True)
+class ExecutorConfig:
+    """Execution-time knobs."""
+
+    #: Abort a transaction whose lock wait exceeds this (None = wait forever).
+    lock_timeout_s: Optional[float] = 5.0
+    #: Probability that executing one repartition operation fails
+    #: (injected fault, e.g. the destination rejecting the insert).
+    rep_op_failure_probability: float = 0.0
+    #: Isolation level.  The paper's prototype runs PostgreSQL at
+    #: ``"read_committed"`` (reads do not hold tuple locks; only writes
+    #: take exclusive locks until commit).  ``"serializable"`` makes
+    #: reads hold shared locks to commit (strict 2PL) — the paper notes
+    #: this "will decrease the system concurrency".
+    isolation: str = "read_committed"
+    #: Fixed work charged once per transaction (begin/commit processing
+    #: at the TM).  §3.1's granularity trade-off: per-op repartition
+    #: transactions multiply this overhead, one giant transaction
+    #: amortises it but monopolises locks.
+    per_txn_overhead_units: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.lock_timeout_s is not None and self.lock_timeout_s <= 0:
+            raise ValueError("lock timeout must be positive or None")
+        if not 0.0 <= self.rep_op_failure_probability <= 1.0:
+            raise ValueError("rep-op failure probability must be in [0, 1]")
+        if self.isolation not in ("read_committed", "serializable"):
+            raise ValueError(f"unknown isolation level {self.isolation!r}")
+        if self.per_txn_overhead_units < 0:
+            raise ValueError("per-transaction overhead cannot be negative")
+
+
+class _Journal:
+    """Per-transaction WAL journaling across the nodes it touches.
+
+    Every method is a no-op for nodes without a WAL attached, so the
+    executor pays nothing unless durability logging is enabled.
+    """
+
+    def __init__(self, txn: Transaction) -> None:
+        self.txn = txn
+        self._begun: set[DataNode] = set()
+
+    def _ensure_begun(self, node: DataNode) -> bool:
+        if node.wal is None:
+            return False
+        if node not in self._begun:
+            node.wal.log_begin(self.txn.txn_id)
+            self._begun.add(node)
+        return True
+
+    def write(self, node: DataNode, key: int, value: int) -> None:
+        if self._ensure_begun(node):
+            node.wal.log_write(self.txn.txn_id, key, value)
+
+    def insert(self, node: DataNode, record) -> None:
+        if self._ensure_begun(node):
+            node.wal.log_insert(self.txn.txn_id, record)
+
+    def delete(self, node: DataNode, key: int) -> None:
+        if self._ensure_begun(node):
+            node.wal.log_delete(self.txn.txn_id, key)
+
+    def close(self, committed: bool) -> None:
+        # Sorted for determinism: set iteration order over nodes would
+        # otherwise depend on object identity.
+        for node in sorted(self._begun, key=lambda n: n.node_id):
+            assert node.wal is not None
+            if committed:
+                node.wal.log_commit(self.txn.txn_id)
+            else:
+                node.wal.log_abort(self.txn.txn_id)
+        self._begun.clear()
+
+
+class TransactionExecutor:
+    """Executes transactions against the simulated cluster."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        cluster: Cluster,
+        router: QueryRouter,
+        cost_model: CostModel,
+        two_phase_commit: TwoPhaseCommitCoordinator,
+        config: Optional[ExecutorConfig] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.env = env
+        self.cluster = cluster
+        self.router = router
+        self.cost_model = cost_model
+        self.twopc = two_phase_commit
+        self.config = config or ExecutorConfig()
+        self._rng = rng
+        if self.config.rep_op_failure_probability > 0 and rng is None:
+            raise ValueError("rep-op failure injection requires an rng")
+        #: Called with each repartition operation the moment it commits.
+        self.on_rep_op_applied: Optional[
+            Callable[[RepartitionOperation, Transaction], None]
+        ] = None
+
+    # ------------------------------------------------------------------
+    # Main entry point
+    # ------------------------------------------------------------------
+    def execute(self, txn: Transaction) -> Generator[Event, Any, bool]:
+        """Process generator: run ``txn`` to commit or abort.
+
+        Returns ``True`` on commit, ``False`` on abort (the abort reason
+        is recorded on the transaction).
+        """
+        txn.started_at = self.env.now
+        txn.status = TxnStatus.RUNNING
+        touched_nodes: set[DataNode] = set()
+        undo_log: list[tuple[str, DataNode, int, int, int]] = []
+        journal = _Journal(txn)
+
+        try:
+            query_partitions = self.router.partitions_for(txn.queries)
+            effective_ops = self._effective_ops(txn)
+            op_partitions: set[PartitionId] = set()
+            for op in effective_ops:
+                op_partitions.update(self._op_partitions(op))
+            all_partitions = set(query_partitions) | op_partitions
+
+            per_query_work = 0.0
+            if txn.queries:
+                total = self.cost_model.txn_cost(max(1, len(query_partitions)))
+                per_query_work = total / len(txn.queries)
+
+            if self.config.per_txn_overhead_units > 0 and all_partitions:
+                overhead_node = self.cluster.node_for_partition(
+                    min(all_partitions)
+                )
+                touched_nodes.add(overhead_node)
+                yield from overhead_node.work(
+                    self.config.per_txn_overhead_units
+                )
+                if txn.is_normal:
+                    txn.normal_cost_units += self.config.per_txn_overhead_units
+                else:
+                    txn.rep_cost_units += self.config.per_txn_overhead_units
+
+            for query in txn.queries:
+                yield from self._execute_query(
+                    txn, query, per_query_work, touched_nodes, undo_log,
+                    journal,
+                )
+
+            for op in effective_ops:
+                yield from self._execute_rep_op(
+                    txn, op, touched_nodes, undo_log, journal
+                )
+
+            # Commit across the partitions actually touched (re-routing
+            # after concurrent migrations can differ from the initial
+            # estimate in ``all_partitions``).
+            commit_partitions = {node.partition_id for node in touched_nodes}
+            commit_partitions |= all_partitions
+            if len(commit_partitions) > 1:
+                participants = [
+                    self.cluster.node_for_partition(pid)
+                    for pid in sorted(commit_partitions)
+                ]
+                outcome = yield self.env.process(
+                    self.twopc.commit(COORDINATOR_NODE_ID, participants)
+                )
+                if not outcome.committed:
+                    raise TransactionAborted(
+                        txn.txn_id,
+                        f"2PC participant(s) {outcome.no_votes} voted no",
+                    )
+
+            self._apply_commit_effects(txn, effective_ops, journal)
+            journal.close(committed=True)
+            txn.status = TxnStatus.COMMITTED
+            txn.finished_at = self.env.now
+            return True
+
+        except TransactionAborted as abort:
+            self._undo(undo_log)
+            journal.close(committed=False)
+            txn.status = TxnStatus.ABORTED
+            txn.abort_reason = abort.reason
+            txn.finished_at = self.env.now
+            return False
+        finally:
+            # Release in node-id order: iterating the set directly would
+            # make lock-grant order (and thus the whole run) depend on
+            # object identity, breaking determinism across runs.
+            for node in sorted(touched_nodes, key=lambda n: n.node_id):
+                node.locks.release_all(txn.txn_id)
+
+    # ------------------------------------------------------------------
+    # Query execution
+    # ------------------------------------------------------------------
+    def _execute_query(
+        self,
+        txn: Transaction,
+        query: Query,
+        work_units: float,
+        touched_nodes: set[DataNode],
+        undo_log: list[tuple[str, DataNode, int, int, int]],
+        journal: _Journal,
+    ) -> Generator[Event, Any, None]:
+        if query.mode is AccessMode.READ:
+            # Route, lock, then re-validate: a concurrent migration may
+            # commit between the routing decision and the lock grant, in
+            # which case we follow the tuple to its new home (the stale
+            # lock is harmless and released at the end).
+            while True:
+                pid = self.router.route_read(query.key)
+                node = self.cluster.node_for_partition(pid)
+                touched_nodes.add(node)
+                yield from self._lock(txn, node, query.key, LockMode.SHARED)
+                if pid in self.router.partition_map.replicas_of(query.key):
+                    break
+            yield from node.work(work_units)
+            txn.normal_cost_units += work_units
+            node.store.read(query.key)
+            if self.config.isolation == "read_committed":
+                # Reads do not hold their lock to commit: the shared lock
+                # acted only as a latch ordering the read after any
+                # in-flight write of the same tuple.
+                node.locks.release(txn.txn_id, query.key)
+            return
+
+        while True:
+            replica_pids = self.router.route_write(query.key)
+            for pid in replica_pids:
+                node = self.cluster.node_for_partition(pid)
+                touched_nodes.add(node)
+                yield from self._lock(
+                    txn, node, query.key, LockMode.EXCLUSIVE
+                )
+            current = self.router.partition_map.replicas_of(query.key)
+            if set(current) <= set(replica_pids):
+                replica_pids = current
+                break
+        primary_node = self.cluster.node_for_partition(replica_pids[0])
+        # Work is charged at the primary; replica maintenance is free in
+        # the model (the paper evaluates single-replica placements).
+        yield from primary_node.work(work_units)
+        txn.normal_cost_units += work_units
+        assert query.value is not None
+        for pid in replica_pids:
+            node = self.cluster.node_for_partition(pid)
+            record = node.store.get(query.key)
+            undo_log.append(
+                ("write", node, query.key, record.value, record.version)
+            )
+            record.write(query.value)
+            journal.write(node, query.key, query.value)
+
+    # ------------------------------------------------------------------
+    # Repartition-operation execution
+    # ------------------------------------------------------------------
+    def _op_work(self, txn: Transaction) -> float:
+        """Work units for one repartition op in ``txn``'s context.
+
+        Piggybacked operations (inside a normal carrier) are cheaper:
+        the carrier already pays the locking and distributed-commit
+        overhead a standalone repartition transaction would incur (§3.4).
+        """
+        if txn.is_normal:
+            return self.cost_model.piggybacked_op_cost()
+        return self.cost_model.rep_op_cost
+
+    def _effective_ops(self, txn: Transaction) -> list[RepartitionOperation]:
+        """Drop operations that the current map shows as already applied."""
+        effective = []
+        pmap = self.router.partition_map
+        for op in txn.rep_ops:
+            if isinstance(op, Migrate):
+                if pmap.primary_of(op.key) == op.destination:
+                    self._report_applied(op, txn)
+                    continue
+            elif isinstance(op, CreateReplica):
+                if op.destination in pmap.replicas_of(op.key):
+                    self._report_applied(op, txn)
+                    continue
+            elif isinstance(op, DeleteReplica):
+                if op.partition not in pmap.replicas_of(op.key):
+                    self._report_applied(op, txn)
+                    continue
+            effective.append(op)
+        return effective
+
+    def _op_partitions(self, op: RepartitionOperation) -> frozenset[PartitionId]:
+        """Partitions an operation touches *under the current map*."""
+        pmap = self.router.partition_map
+        if isinstance(op, Migrate):
+            return frozenset((pmap.primary_of(op.key), op.destination))
+        return op.partitions_touched
+
+    def _execute_rep_op(
+        self,
+        txn: Transaction,
+        op: RepartitionOperation,
+        touched_nodes: set[DataNode],
+        undo_log: list[tuple[str, DataNode, int, int, int]],
+        journal: _Journal,
+    ) -> Generator[Event, Any, None]:
+        if isinstance(op, Migrate):
+            yield from self._execute_move(
+                txn, op, op.key, op.destination, touched_nodes, undo_log,
+                journal,
+            )
+        elif isinstance(op, CreateReplica):
+            yield from self._execute_copy(
+                txn, op, op.key, op.destination, touched_nodes, undo_log,
+                journal,
+            )
+        elif isinstance(op, DeleteReplica):
+            yield from self._execute_delete(
+                txn, op, op.key, op.partition, touched_nodes
+            )
+        else:  # pragma: no cover - future op kinds
+            raise TransactionAborted(
+                txn.txn_id, f"unknown repartition operation {op!r}"
+            )
+        self._maybe_inject_failure(txn, op)
+
+    def _execute_move(
+        self,
+        txn: Transaction,
+        op: RepartitionOperation,
+        key: int,
+        destination: PartitionId,
+        touched_nodes: set[DataNode],
+        undo_log: list[tuple[str, DataNode, int, int, int]],
+        journal: _Journal,
+    ) -> Generator[Event, Any, None]:
+        dest_node = self.cluster.node_for_partition(destination)
+        while True:
+            source = self.router.partition_map.primary_of(key)
+            source_node = self.cluster.node_for_partition(source)
+            touched_nodes.update((source_node, dest_node))
+            yield from self._lock(txn, source_node, key, LockMode.EXCLUSIVE)
+            yield from self._lock(txn, dest_node, key, LockMode.EXCLUSIVE)
+            if self.router.partition_map.primary_of(key) == source:
+                break
+
+        half_work = self._op_work(txn) / 2
+        yield from source_node.work(half_work)
+        txn.rep_cost_units += half_work
+
+        record = source_node.store.get(key)
+        yield from self.cluster.network.transfer(
+            source_node.node_id, dest_node.node_id, record.size_bytes
+        )
+
+        yield from dest_node.work(half_work)
+        txn.rep_cost_units += half_work
+        if key not in dest_node.store:
+            copy = record.copy()
+            dest_node.store.insert(copy)
+            undo_log.append(("insert", dest_node, key, 0, 0))
+            journal.insert(dest_node, copy)
+
+    def _execute_copy(
+        self,
+        txn: Transaction,
+        op: RepartitionOperation,
+        key: int,
+        destination: PartitionId,
+        touched_nodes: set[DataNode],
+        undo_log: list[tuple[str, DataNode, int, int, int]],
+        journal: _Journal,
+    ) -> Generator[Event, Any, None]:
+        source = self.router.partition_map.primary_of(key)
+        source_node = self.cluster.node_for_partition(source)
+        dest_node = self.cluster.node_for_partition(destination)
+        touched_nodes.update((source_node, dest_node))
+
+        yield from self._lock(txn, source_node, key, LockMode.SHARED)
+        yield from self._lock(txn, dest_node, key, LockMode.EXCLUSIVE)
+
+        half_work = self._op_work(txn) / 2
+        yield from source_node.work(half_work)
+        txn.rep_cost_units += half_work
+        record = source_node.store.get(key)
+        yield from self.cluster.network.transfer(
+            source_node.node_id, dest_node.node_id, record.size_bytes
+        )
+        yield from dest_node.work(half_work)
+        txn.rep_cost_units += half_work
+        if key not in dest_node.store:
+            copy = record.copy()
+            dest_node.store.insert(copy)
+            undo_log.append(("insert", dest_node, key, 0, 0))
+            journal.insert(dest_node, copy)
+
+    def _execute_delete(
+        self,
+        txn: Transaction,
+        op: RepartitionOperation,
+        key: int,
+        partition: PartitionId,
+        touched_nodes: set[DataNode],
+    ) -> Generator[Event, Any, None]:
+        node = self.cluster.node_for_partition(partition)
+        touched_nodes.add(node)
+        yield from self._lock(txn, node, key, LockMode.EXCLUSIVE)
+        work = self._op_work(txn)
+        yield from node.work(work)
+        txn.rep_cost_units += work
+        # The actual removal is deferred to commit.
+
+    def _maybe_inject_failure(
+        self, txn: Transaction, op: RepartitionOperation
+    ) -> None:
+        if self.config.rep_op_failure_probability <= 0:
+            return
+        assert self._rng is not None
+        if self._rng.random() < self.config.rep_op_failure_probability:
+            raise TransactionAborted(
+                txn.txn_id,
+                f"injected failure executing {op.kind} of tuple {op.key}",
+            )
+
+    # ------------------------------------------------------------------
+    # Commit / undo
+    # ------------------------------------------------------------------
+    def _apply_commit_effects(
+        self,
+        txn: Transaction,
+        effective_ops: list[RepartitionOperation],
+        journal: _Journal,
+    ) -> None:
+        pmap = self.router.partition_map
+        for op in effective_ops:
+            if isinstance(op, Migrate):
+                source = pmap.primary_of(op.key)
+                source_node = self.cluster.node_for_partition(source)
+                if op.key in source_node.store:
+                    source_node.store.delete(op.key)
+                    journal.delete(source_node, op.key)
+                pmap.move(op.key, source, op.destination)
+            elif isinstance(op, CreateReplica):
+                pmap.add_replica(op.key, op.destination)
+            elif isinstance(op, DeleteReplica):
+                node = self.cluster.node_for_partition(op.partition)
+                if op.key in node.store:
+                    node.store.delete(op.key)
+                    journal.delete(node, op.key)
+                pmap.remove_replica(op.key, op.partition)
+            self._report_applied(op, txn)
+
+    def _report_applied(
+        self, op: RepartitionOperation, txn: Transaction
+    ) -> None:
+        if self.on_rep_op_applied is not None:
+            self.on_rep_op_applied(op, txn)
+
+    def _undo(
+        self, undo_log: list[tuple[str, DataNode, int, int, int]]
+    ) -> None:
+        for action, node, key, old_value, old_version in reversed(undo_log):
+            if action == "write":
+                record = node.store.peek(key)
+                if record is not None:
+                    record.value = old_value
+                    record.version = old_version
+            elif action == "insert":
+                if key in node.store:
+                    node.store.delete(key)
+
+    # ------------------------------------------------------------------
+    # Locking with timeout
+    # ------------------------------------------------------------------
+    def _lock(
+        self,
+        txn: Transaction,
+        node: DataNode,
+        key: int,
+        mode: LockMode,
+    ) -> Generator[Event, Any, None]:
+        event = node.locks.acquire(txn.txn_id, key, mode)
+        if event.triggered:
+            if event.failed:
+                event.defused = True
+                raise event.value
+            return
+        if self.config.lock_timeout_s is None:
+            yield event
+            return
+        timeout = self.env.timeout(self.config.lock_timeout_s)
+        yield self.env.any_of([event, timeout])
+        if event.triggered and event.ok:
+            return
+        node.locks.cancel(txn.txn_id, key)
+        raise LockTimeout(txn.txn_id, key, self.config.lock_timeout_s)

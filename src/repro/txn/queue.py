@@ -1,0 +1,130 @@
+"""The processing queue: priority scheduling with FIFO tie-breaking.
+
+Paper §2.1: "All the submitted transactions will be associated with a
+scheduling priority and then put into a processing queue, where higher-
+priority transactions will be executed first, while the FIFO policy will
+be applied to break the tie."
+
+The queue additionally supports *removal* and *re-prioritisation* of
+waiting transactions, which the Feedback scheduler uses to promote
+repartition transactions and the Piggyback scheduler uses to claim a
+queued repartition transaction for injection into a carrier.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import TYPE_CHECKING, Optional
+
+from ..sim.events import Event
+from ..types import Priority, TxnId
+from .transaction import Transaction
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.environment import Environment
+
+
+class ProcessingQueue:
+    """Priority + FIFO queue of transactions awaiting dispatch."""
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self._heap: list[tuple[int, int, TxnId]] = []
+        self._entries: dict[TxnId, Transaction] = {}
+        self._seq = count()
+        self._waiters: list[Event] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, txn_id: TxnId) -> bool:
+        return txn_id in self._entries
+
+    # ------------------------------------------------------------------
+    # Producers
+    # ------------------------------------------------------------------
+    def put(self, txn: Transaction, priority: Optional[Priority] = None) -> None:
+        """Enqueue ``txn`` (at its own priority unless overridden)."""
+        if txn.txn_id in self._entries:
+            raise ValueError(f"transaction {txn.txn_id} is already queued")
+        if priority is not None:
+            txn.priority = priority
+        heapq.heappush(
+            self._heap, (int(txn.priority), next(self._seq), txn.txn_id)
+        )
+        self._entries[txn.txn_id] = txn
+        self._wake_waiters()
+
+    # ------------------------------------------------------------------
+    # Consumers
+    # ------------------------------------------------------------------
+    def pop(self) -> Optional[Transaction]:
+        """Dequeue the highest-priority (then oldest) transaction."""
+        while self._heap:
+            _prio, _seq, txn_id = heapq.heappop(self._heap)
+            txn = self._entries.pop(txn_id, None)
+            if txn is not None:
+                return txn
+        return None
+
+    def peek(self) -> Optional[Transaction]:
+        """The transaction :meth:`pop` would return, without removing it."""
+        while self._heap:
+            _prio, _seq, txn_id = self._heap[0]
+            txn = self._entries.get(txn_id)
+            if txn is not None:
+                return txn
+            heapq.heappop(self._heap)  # discard stale entry
+        return None
+
+    def wait_nonempty(self) -> Event:
+        """Event that succeeds once the queue holds at least one item."""
+        event = Event(self.env)
+        if self._entries:
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Surgical operations (Feedback promotion, Piggyback claiming)
+    # ------------------------------------------------------------------
+    def remove(self, txn_id: TxnId) -> Optional[Transaction]:
+        """Withdraw a waiting transaction; ``None`` if it is not queued.
+
+        The heap entry is left behind and skipped lazily by :meth:`pop`.
+        """
+        return self._entries.pop(txn_id, None)
+
+    def reprioritise(self, txn_id: TxnId, priority: Priority) -> bool:
+        """Move a waiting transaction to a different priority level."""
+        txn = self.remove(txn_id)
+        if txn is None:
+            return False
+        self.put(txn, priority)
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def waiting(self) -> list[Transaction]:
+        """Snapshot of every waiting transaction (undefined order)."""
+        return list(self._entries.values())
+
+    def counts_by_priority(self) -> dict[Priority, int]:
+        """How many waiting transactions sit at each priority level."""
+        counts = {priority: 0 for priority in Priority}
+        for txn in self._entries.values():
+            counts[txn.priority] += 1
+        return counts
+
+    def waiting_normal_work(self) -> int:
+        """Number of queued *normal* transactions (queue-pressure signal)."""
+        return sum(1 for t in self._entries.values() if t.is_normal)
+
+    def _wake_waiters(self) -> None:
+        waiters, self._waiters = self._waiters, []
+        for event in waiters:
+            if not event.triggered:
+                event.succeed()

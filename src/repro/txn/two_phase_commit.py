@@ -1,0 +1,133 @@
+"""Two-phase commit across the participating data nodes.
+
+The paper's prototype commits distributed transactions through Bitronix
+(a JTA transaction manager) speaking XA two-phase commit to each
+PostgreSQL node.  This module reproduces the protocol's *timing and
+failure* behaviour on the simulated network:
+
+* phase 1 — the coordinator sends PREPARE to every participant in
+  parallel and waits for all votes (one network round trip each, plus a
+  small prepare-work charge at the participant);
+* phase 2 — on unanimous YES, COMMIT messages go out in parallel; any NO
+  (or injected participant failure) turns phase 2 into ABORT.
+
+A single-participant transaction skips the protocol entirely (one-phase
+commit), which is exactly why collocating a transaction's tuples makes
+it cheaper — the effect the paper's cost model captures as C vs 2C.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Generator, Optional, Sequence
+
+from ..cluster.node import DataNode
+from ..sim.events import Event
+from ..sim.network import Network
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.environment import Environment
+
+
+@dataclass(frozen=True)
+class TwoPhaseCommitConfig:
+    """Protocol parameters."""
+
+    #: Work units a participant spends logging the prepare record.
+    prepare_work_units: float = 0.0
+    #: Probability that a participant votes NO (failure injection).
+    vote_no_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.vote_no_probability <= 1.0:
+            raise ValueError(
+                f"vote_no_probability must be in [0, 1]: "
+                f"{self.vote_no_probability}"
+            )
+        if self.prepare_work_units < 0:
+            raise ValueError("prepare work cannot be negative")
+
+
+@dataclass
+class CommitOutcome:
+    """Result of a 2PC round."""
+
+    committed: bool
+    no_votes: tuple[int, ...] = ()
+
+
+class TwoPhaseCommitCoordinator:
+    """Runs 2PC rounds between a coordinator and participant nodes."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        network: Network,
+        config: Optional[TwoPhaseCommitConfig] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.env = env
+        self.network = network
+        self.config = config or TwoPhaseCommitConfig()
+        self._rng = rng
+        self.rounds = 0
+        self.aborts = 0
+        if self.config.vote_no_probability > 0 and rng is None:
+            raise ValueError("failure injection requires an rng")
+
+    def commit(
+        self,
+        coordinator_id: int,
+        participants: Sequence[DataNode],
+    ) -> Generator[Event, Any, CommitOutcome]:
+        """Process generator running one 2PC round.
+
+        Returns a :class:`CommitOutcome`; the caller applies or undoes
+        the transaction's effects accordingly.
+        """
+        self.rounds += 1
+        if len(participants) <= 1:
+            # One-phase commit: no coordination needed.
+            return CommitOutcome(committed=True)
+
+        # Phase 1: PREPARE round trips in parallel.
+        prepare_jobs = [
+            self.env.process(self._prepare_one(coordinator_id, node))
+            for node in participants
+        ]
+        votes_by_event = yield self.env.all_of(prepare_jobs)
+        votes = [votes_by_event[job] for job in prepare_jobs]
+
+        no_votes = tuple(
+            node.node_id
+            for node, vote in zip(participants, votes)
+            if not vote
+        )
+        committed = not no_votes
+        if not committed:
+            self.aborts += 1
+
+        # Phase 2: COMMIT/ABORT round trips in parallel.
+        decision_jobs = [
+            self.env.process(
+                self.network.round_trip(coordinator_id, node.node_id)
+            )
+            for node in participants
+        ]
+        yield self.env.all_of(decision_jobs)
+        return CommitOutcome(committed=committed, no_votes=no_votes)
+
+    def _prepare_one(
+        self, coordinator_id: int, node: DataNode
+    ) -> Generator[Event, Any, bool]:
+        """PREPARE round trip to one participant; returns its vote."""
+        yield from self.network.transfer(coordinator_id, node.node_id)
+        if self.config.prepare_work_units > 0:
+            yield from node.work(self.config.prepare_work_units)
+        yield from self.network.transfer(node.node_id, coordinator_id)
+        if self.config.vote_no_probability > 0:
+            assert self._rng is not None
+            if self._rng.random() < self.config.vote_no_probability:
+                return False
+        return True

@@ -1,0 +1,53 @@
+"""Common identifiers and enums shared across subsystems."""
+
+from __future__ import annotations
+
+import enum
+
+#: Identifies a data partition; the paper maps one partition per data node.
+PartitionId = int
+
+#: Identifies a data node in the cluster.
+NodeId = int
+
+#: Global unique transaction identifier handed out by the transaction manager.
+TxnId = int
+
+#: Primary key of a tuple (the paper's table has a single unique key field).
+TupleKey = int
+
+
+class Priority(enum.IntEnum):
+    """Scheduling priority in the processing queue (lower value = sooner).
+
+    The paper's ApplyAll strategy submits repartition transactions above
+    normal priority; AfterAll submits them below it.
+    """
+
+    HIGH = 0
+    NORMAL = 1
+    LOW = 2
+
+
+class AccessMode(enum.Enum):
+    """How a query touches a tuple: shared read or exclusive write."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+class TxnStatus(enum.Enum):
+    """Transaction lifecycle states."""
+
+    CREATED = "created"
+    QUEUED = "queued"
+    RUNNING = "running"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class TxnKind(enum.Enum):
+    """Distinguishes normal OLTP transactions from repartition transactions."""
+
+    NORMAL = "normal"
+    REPARTITION = "repartition"

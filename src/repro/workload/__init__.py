@@ -1,0 +1,49 @@
+"""Workload substrate: profiles, generation, placement, arrivals."""
+
+from .arrivals import ArrivalConfig, PoissonArrivalProcess, calibrate_rate
+from .dataset import (
+    PlacementConfig,
+    choose_distributed_types,
+    initial_placement,
+    load_stores,
+    place_unprofiled_keys,
+    verify_placement,
+)
+from .generator import (
+    PAPER_QUERIES_PER_TXN,
+    PAPER_TUPLE_COUNT,
+    PAPER_UNIFORM_TYPES,
+    PAPER_ZIPF_S,
+    PAPER_ZIPF_TYPES,
+    WorkloadConfig,
+    WorkloadSampler,
+    build_profile,
+)
+from .profile import TransactionType, WorkloadProfile
+from .trace import Trace, TraceEntry, TraceRecorder, TraceReplayProcess
+
+__all__ = [
+    "ArrivalConfig",
+    "PAPER_QUERIES_PER_TXN",
+    "PAPER_TUPLE_COUNT",
+    "PAPER_UNIFORM_TYPES",
+    "PAPER_ZIPF_S",
+    "PAPER_ZIPF_TYPES",
+    "PlacementConfig",
+    "PoissonArrivalProcess",
+    "Trace",
+    "TraceEntry",
+    "TraceRecorder",
+    "TraceReplayProcess",
+    "TransactionType",
+    "WorkloadConfig",
+    "WorkloadProfile",
+    "WorkloadSampler",
+    "build_profile",
+    "calibrate_rate",
+    "choose_distributed_types",
+    "initial_placement",
+    "load_stores",
+    "place_unprofiled_keys",
+    "verify_placement",
+]

@@ -1,0 +1,127 @@
+"""Initial data placement and store loading (paper §4.1).
+
+The experiments vary α — the fraction of tuples that must be
+repartitioned.  Before repartitioning, an α-fraction of transaction
+types are *distributed*: their 5 tuples are spread round-robin over the
+partitions, so running them costs 2·C.  The remaining types are already
+collocated.  After deploying the plan, every type is collocated — i.e.
+α percent of the normal transactions turn from distributed into
+non-distributed, exactly the paper's setup.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..cluster.cluster import Cluster
+from ..errors import ConfigError
+from ..routing.partition_map import PartitionMap
+from ..storage.record import Record
+from ..types import PartitionId
+from .profile import WorkloadProfile
+
+
+@dataclass(frozen=True)
+class PlacementConfig:
+    """Initial placement parameters."""
+
+    #: Fraction of transaction types initially distributed (the paper's α).
+    alpha: float = 1.0
+    #: Tuple payload size (paper: 8 bytes).
+    tuple_size_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ConfigError(f"alpha must be in [0, 1]: {self.alpha}")
+        if self.tuple_size_bytes <= 0:
+            raise ConfigError("tuple size must be positive")
+
+
+def choose_distributed_types(
+    profile: WorkloadProfile, alpha: float, rng: random.Random
+) -> set[int]:
+    """Select exactly ⌊α·n⌉ types (uniformly at random) to be distributed.
+
+    Selection is independent of frequency, so the *instance mass* that is
+    distributed is also ≈ α for both Uniform and Zipf populations.
+    """
+    n = len(profile.types)
+    count = round(alpha * n)
+    type_ids = [t.type_id for t in profile.types]
+    if count >= n:
+        return set(type_ids)
+    return set(rng.sample(type_ids, count))
+
+
+def initial_placement(
+    profile: WorkloadProfile,
+    partitions: Sequence[PartitionId],
+    distributed_type_ids: set[int],
+) -> PartitionMap:
+    """Place every profiled key: distributed types spread, others collocated.
+
+    * A distributed type's keys go round-robin over all partitions,
+      starting at ``type_id mod P`` (so load stays balanced).
+    * A collocated type's keys all land on partition ``type_id mod P``.
+    """
+    if not partitions:
+        raise ConfigError("need at least one partition")
+    pmap = PartitionMap()
+    p = len(partitions)
+    for ttype in profile.types:
+        if ttype.type_id in distributed_type_ids and p > 1:
+            for offset, key in enumerate(ttype.keys):
+                pmap.assign(key, partitions[(ttype.type_id + offset) % p])
+        else:
+            home = partitions[ttype.type_id % p]
+            for key in ttype.keys:
+                pmap.assign(key, home)
+    return pmap
+
+
+def place_unprofiled_keys(
+    pmap: PartitionMap,
+    tuple_count: int,
+    partitions: Sequence[PartitionId],
+) -> None:
+    """Round-robin any keys no transaction type touches (cold data)."""
+    p = len(partitions)
+    for key in range(tuple_count):
+        if key not in pmap:
+            pmap.assign(key, partitions[key % p])
+
+
+def load_stores(
+    cluster: Cluster,
+    pmap: PartitionMap,
+    config: PlacementConfig,
+    rng: random.Random,
+) -> int:
+    """Materialise records on the nodes according to the map.
+
+    Returns the number of records loaded.
+    """
+    loaded = 0
+    for key in pmap.keys():
+        for pid in pmap.replicas_of(key):
+            node = cluster.node_for_partition(pid)
+            node.store.insert(
+                Record(
+                    key=key,
+                    value=rng.randrange(1_000_000),
+                    size_bytes=config.tuple_size_bytes,
+                )
+            )
+            loaded += 1
+    return loaded
+
+
+def verify_placement(cluster: Cluster, pmap: PartitionMap) -> bool:
+    """Check stores and map agree (used by tests and failure injection)."""
+    for key in pmap.keys():
+        for pid in pmap.replicas_of(key):
+            if key not in cluster.node_for_partition(pid).store:
+                return False
+    return True

@@ -1,0 +1,144 @@
+"""Workload population generation (paper §4.1).
+
+The paper's table holds 500,000 8-byte tuples.  Two transaction
+populations are evaluated:
+
+* **Uniform** — 30,000 distinct transactions, equal frequency;
+* **Zipf** — 23,457 distinct transactions with skew s = 1.16 (the 80-20
+  rule: ~20% of the types receive ~80% of the arrivals).
+
+Every distinct transaction accesses 5 unique tuples; each access is a
+read or a write with equal probability, decided per arriving instance.
+Types receive disjoint key blocks so a repartition decision for one type
+never disturbs another — matching the paper's setup where repartitioning
+α% of tuples converts exactly α% of transactions to single-partition.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..sim.random import weighted_choice
+from ..types import AccessMode
+from ..routing.query import Query
+from .profile import TransactionType, WorkloadProfile
+
+#: Paper values.
+PAPER_TUPLE_COUNT = 500_000
+PAPER_UNIFORM_TYPES = 30_000
+PAPER_ZIPF_TYPES = 23_457
+PAPER_ZIPF_S = 1.16
+PAPER_QUERIES_PER_TXN = 5
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Shape of the transaction population."""
+
+    table: str = "accounts"
+    tuple_count: int = PAPER_TUPLE_COUNT
+    distinct_types: int = PAPER_UNIFORM_TYPES
+    queries_per_txn: int = PAPER_QUERIES_PER_TXN
+    distribution: str = "uniform"
+    zipf_s: float = PAPER_ZIPF_S
+    write_probability: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.distribution not in ("uniform", "zipf"):
+            raise ConfigError(
+                f"unknown distribution {self.distribution!r} "
+                "(expected 'uniform' or 'zipf')"
+            )
+        if self.distinct_types < 1:
+            raise ConfigError("need at least one transaction type")
+        if self.queries_per_txn < 1:
+            raise ConfigError("transactions need at least one query")
+        if self.distinct_types * self.queries_per_txn > self.tuple_count:
+            raise ConfigError(
+                f"{self.distinct_types} types x {self.queries_per_txn} keys "
+                f"do not fit in {self.tuple_count} tuples"
+            )
+        if not 0.0 <= self.write_probability <= 1.0:
+            raise ConfigError("write probability must be in [0, 1]")
+        if self.zipf_s < 0:
+            raise ConfigError("zipf skew cannot be negative")
+
+
+def build_profile(config: WorkloadConfig) -> WorkloadProfile:
+    """Construct the transaction population for ``config``.
+
+    Type ``i`` owns the key block ``[i*q, (i+1)*q)`` and, under Zipf,
+    has rank ``i`` (type 0 is the hottest).  The construction is fully
+    deterministic.
+    """
+    q = config.queries_per_txn
+    types = []
+    for i in range(config.distinct_types):
+        keys = tuple(range(i * q, (i + 1) * q))
+        if config.distribution == "uniform":
+            frequency = 1.0
+        else:
+            frequency = 1.0 / ((i + 1) ** config.zipf_s)
+        types.append(
+            TransactionType(type_id=i, keys=keys, frequency=frequency)
+        )
+    return WorkloadProfile(table=config.table, types=types)
+
+
+class WorkloadSampler:
+    """Draws transaction instances from a profile."""
+
+    def __init__(
+        self,
+        profile: WorkloadProfile,
+        config: WorkloadConfig,
+        rng: random.Random,
+    ) -> None:
+        self.profile = profile
+        self.config = config
+        self._rng = rng
+        total = profile.total_frequency
+        if total <= 0:
+            raise ConfigError("profile has zero total frequency")
+        self._cumulative: list[float] = []
+        acc = 0.0
+        for ttype in profile.types:
+            acc += ttype.frequency / total
+            self._cumulative.append(acc)
+        if self._cumulative:
+            self._cumulative[-1] = 1.0
+
+    def sample_type(self) -> TransactionType:
+        """Draw a transaction type according to its frequency."""
+        index = weighted_choice(self._rng, self._cumulative)
+        return self.profile.types[index]
+
+    def make_queries(self, ttype: TransactionType) -> list[Query]:
+        """Materialise one instance: per-key read/write coin flips."""
+        queries = []
+        for key in ttype.keys:
+            if self._rng.random() < self.config.write_probability:
+                queries.append(
+                    Query(
+                        table=self.profile.table,
+                        key=key,
+                        mode=AccessMode.WRITE,
+                        value=self._rng.randrange(1_000_000),
+                    )
+                )
+            else:
+                queries.append(
+                    Query(
+                        table=self.profile.table,
+                        key=key,
+                        mode=AccessMode.READ,
+                    )
+                )
+        return queries
+
+    def sample_transaction(self) -> tuple[TransactionType, list[Query]]:
+        """Draw a type and materialise an instance of it."""
+        ttype = self.sample_type()
+        return ttype, self.make_queries(ttype)

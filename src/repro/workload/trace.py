@@ -1,0 +1,190 @@
+"""Workload traces: record an arrival stream, replay it later.
+
+Trace-driven evaluation is how systems papers compare variants on
+*identical* inputs.  Two pieces:
+
+* :class:`TraceRecorder` — captures every submitted normal transaction
+  (arrival time, type id, per-query key/mode/value) into an in-memory
+  trace serialisable to JSON-lines;
+* :class:`TraceReplayProcess` — re-submits a trace into any system at
+  the recorded virtual times, so two schedulers can be compared on the
+  exact same transaction sequence (not merely the same distribution).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from ..errors import ConfigError
+from ..routing.query import Query
+from ..sim.events import Event
+from ..txn.manager import TransactionManager
+from ..txn.transaction import Transaction
+from ..types import AccessMode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.environment import Environment
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One recorded transaction arrival."""
+
+    time: float
+    type_id: Optional[int]
+    queries: tuple[tuple[int, str, Optional[int]], ...]
+
+    @classmethod
+    def from_transaction(
+        cls, time: float, txn: Transaction
+    ) -> "TraceEntry":
+        """Capture a normal transaction's shape."""
+        return cls(
+            time=time,
+            type_id=txn.type_id,
+            queries=tuple(
+                (q.key, q.mode.value, q.value) for q in txn.queries
+            ),
+        )
+
+    def to_queries(self, table: str) -> list[Query]:
+        """Materialise the recorded queries."""
+        return [
+            Query(
+                table=table,
+                key=key,
+                mode=AccessMode(mode),
+                value=value,
+            )
+            for key, mode, value in self.queries
+        ]
+
+    def to_json(self) -> str:
+        """One JSON line."""
+        return json.dumps(
+            {
+                "time": self.time,
+                "type_id": self.type_id,
+                "queries": [list(q) for q in self.queries],
+            }
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "TraceEntry":
+        """Parse one JSON line."""
+        data = json.loads(line)
+        return cls(
+            time=float(data["time"]),
+            type_id=data["type_id"],
+            queries=tuple(
+                (int(k), str(m), None if v is None else int(v))
+                for k, m, v in data["queries"]
+            ),
+        )
+
+
+@dataclass
+class Trace:
+    """An ordered sequence of arrivals."""
+
+    entries: list[TraceEntry] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def validate(self) -> None:
+        """Entries must be time-ordered (replay depends on it)."""
+        for earlier, later in zip(self.entries, self.entries[1:]):
+            if later.time < earlier.time:
+                raise ConfigError(
+                    f"trace not time-ordered at t={later.time}"
+                )
+
+    # ------------------------------------------------------------------
+    # Serialisation (JSON lines)
+    # ------------------------------------------------------------------
+    def dumps(self) -> str:
+        """Serialise to JSON-lines text."""
+        return "\n".join(entry.to_json() for entry in self.entries)
+
+    @classmethod
+    def loads(cls, text: str) -> "Trace":
+        """Parse JSON-lines text."""
+        entries = [
+            TraceEntry.from_json(line)
+            for line in text.splitlines()
+            if line.strip()
+        ]
+        trace = cls(entries=entries)
+        trace.validate()
+        return trace
+
+    def save(self, path: str) -> None:
+        """Write to a .jsonl file."""
+        with open(path, "w") as handle:
+            handle.write(self.dumps())
+
+    @classmethod
+    def load(cls, path: str) -> "Trace":
+        """Read from a .jsonl file."""
+        with open(path) as handle:
+            return cls.loads(handle.read())
+
+
+class TraceRecorder:
+    """Records transaction arrivals; attach via ``record`` calls.
+
+    Typical wiring: pass ``recorder.record`` as the arrival process's
+    ``on_submit`` callback, or wrap ``tm.submit``.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.trace = Trace()
+        self._seen: set[int] = set()
+
+    def record(self, txn: Transaction) -> None:
+        """Capture one normal transaction (once, ignoring resubmits)."""
+        if not txn.is_normal or txn.txn_id in self._seen:
+            return
+        self._seen.add(txn.txn_id)
+        self.trace.entries.append(
+            TraceEntry.from_transaction(self.env.now, txn)
+        )
+
+
+class TraceReplayProcess:
+    """Re-submits a trace's transactions at their recorded times."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        tm: TransactionManager,
+        trace: Trace,
+        table: str = "accounts",
+        time_offset: float = 0.0,
+    ) -> None:
+        trace.validate()
+        self.env = env
+        self.tm = tm
+        self.trace = trace
+        self.table = table
+        self.time_offset = time_offset
+        self.replayed = 0
+        self.process = env.process(self._run())
+
+    def _run(self) -> Generator[Event, Any, None]:
+        for entry in self.trace:
+            target = entry.time + self.time_offset
+            if target > self.env.now:
+                yield self.env.timeout(target - self.env.now)
+            txn = self.tm.create_normal(
+                entry.to_queries(self.table), type_id=entry.type_id
+            )
+            self.tm.submit(txn)
+            self.replayed += 1

@@ -1,0 +1,131 @@
+"""Tests for data nodes and cluster assembly."""
+
+import random
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig, DataNode
+from repro.errors import ConfigError
+from repro.sim import RandomStreams
+from repro.storage import Record
+
+
+class TestDataNode:
+    def test_work_consumes_capacity(self, env):
+        node = DataNode(env, node_id=0, partition_id=0,
+                        capacity_units_per_s=10.0)
+        done = []
+
+        def job():
+            yield from node.work(20)
+            done.append(env.now)
+
+        env.process(job())
+        env.run()
+        assert done == [2.0]
+
+    def test_store_and_locks_attached(self, env):
+        node = DataNode(env, 0, 0, 1.0)
+        node.store.insert(Record(key=1))
+        assert 1 in node.store
+        assert node.locks.name == "node0"
+
+    def test_capacity_noise_changes_rate(self, env):
+        node = DataNode(env, 0, 0, 10.0)
+        node.start_capacity_noise(
+            random.Random(0), interval_s=1.0, relative_sigma=0.5
+        )
+        env.run(until=5)
+        assert node.server.rate != 10.0
+        assert node.server.rate >= 0.3 * node.base_rate
+
+    def test_noise_floor_respected(self, env):
+        node = DataNode(env, 0, 0, 10.0)
+        node.start_capacity_noise(
+            random.Random(0), interval_s=0.5, relative_sigma=10.0,
+            floor_fraction=0.4,
+        )
+        env.run(until=20)
+        assert node.server.rate >= 0.4 * node.base_rate
+
+    def test_double_noise_rejected(self, env):
+        node = DataNode(env, 0, 0, 10.0)
+        node.start_capacity_noise(random.Random(0), 1.0, 0.1)
+        with pytest.raises(RuntimeError):
+            node.start_capacity_noise(random.Random(0), 1.0, 0.1)
+
+    def test_invalid_noise_interval(self, env):
+        node = DataNode(env, 0, 0, 10.0)
+        with pytest.raises(ValueError):
+            node.start_capacity_noise(random.Random(0), 0, 0.1)
+
+
+class TestClusterConfig:
+    def test_defaults_match_paper(self):
+        config = ClusterConfig()
+        assert config.node_count == 5
+        assert config.max_connections == 100
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"node_count": 0},
+            {"capacity_units_per_s": 0},
+            {"max_connections": 0},
+            {"capacity_noise_sigma": -1},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            ClusterConfig(**kwargs)
+
+
+class TestCluster:
+    def test_one_partition_per_node(self, env):
+        cluster = Cluster(env, ClusterConfig(node_count=3))
+        assert cluster.partition_ids == [0, 1, 2]
+        for pid in cluster.partition_ids:
+            assert cluster.node_for_partition(pid).partition_id == pid
+
+    def test_total_capacity(self, env):
+        cluster = Cluster(
+            env, ClusterConfig(node_count=4, capacity_units_per_s=2.5)
+        )
+        assert cluster.total_capacity_units_per_s == 10.0
+
+    def test_shared_deadlock_detector(self, env):
+        cluster = Cluster(env, ClusterConfig(node_count=2))
+        assert (
+            cluster.nodes[0].locks.detector
+            is cluster.nodes[1].locks.detector
+        )
+
+    def test_unknown_partition_raises(self, env):
+        cluster = Cluster(env, ClusterConfig(node_count=2))
+        with pytest.raises(ConfigError):
+            cluster.node_for_partition(99)
+
+    def test_unknown_node_raises(self, env):
+        cluster = Cluster(env, ClusterConfig(node_count=2))
+        with pytest.raises(ConfigError):
+            cluster.node(5)
+
+    def test_noise_requires_streams(self, env):
+        with pytest.raises(ConfigError):
+            Cluster(env, ClusterConfig(capacity_noise_sigma=0.2))
+
+    def test_noise_with_streams(self, env):
+        cluster = Cluster(
+            env,
+            ClusterConfig(capacity_noise_sigma=0.2,
+                          capacity_noise_interval_s=1.0),
+            RandomStreams(0),
+        )
+        env.run(until=3)
+        rates = {node.server.rate for node in cluster.nodes}
+        assert rates != {cluster.config.capacity_units_per_s}
+
+    def test_tuples_per_partition(self, env):
+        cluster = Cluster(env, ClusterConfig(node_count=2))
+        cluster.nodes[0].store.insert(Record(key=1))
+        assert cluster.tuples_per_partition() == {0: 1, 1: 0}

@@ -1,0 +1,94 @@
+"""Tests for node crash/restart with WAL-based recovery."""
+
+import pytest
+
+from repro.cluster import DataNode
+from repro.storage import Record
+
+
+@pytest.fixture
+def node(env):
+    node = DataNode(env, node_id=0, partition_id=0,
+                    capacity_units_per_s=10.0)
+    node.enable_wal()
+    return node
+
+
+def committed_insert(node, txn_id, key, value):
+    node.wal.log_begin(txn_id)
+    record = Record(key=key, value=value)
+    node.store.insert(record)
+    node.wal.log_insert(txn_id, record)
+    node.wal.log_commit(txn_id)
+
+
+class TestCrash:
+    def test_crash_wipes_volatile_state(self, node):
+        committed_insert(node, 1, 5, 50)
+        node.locks.acquire(9, 5, __import__(
+            "repro.locking", fromlist=["LockMode"]
+        ).LockMode.EXCLUSIVE)
+        node.crash()
+        assert node.is_down
+        assert len(node.store) == 0
+        assert node.locks.holders_of(5) == {}
+
+    def test_restart_recovers_committed_data(self, node):
+        committed_insert(node, 1, 5, 50)
+        committed_insert(node, 2, 6, 60)
+        node.crash()
+        store = node.restart()
+        assert not node.is_down
+        assert store.read(5) == 50
+        assert store.read(6) == 60
+
+    def test_uncommitted_work_lost_on_crash(self, node):
+        committed_insert(node, 1, 5, 50)
+        node.wal.log_begin(2)
+        node.store.insert(Record(key=7, value=70))
+        node.wal.log_insert(2, Record(key=7, value=70))
+        # crash before COMMIT
+        node.crash()
+        node.restart()
+        assert 5 in node.store
+        assert 7 not in node.store
+
+    def test_double_crash_rejected(self, node):
+        node.crash()
+        with pytest.raises(RuntimeError):
+            node.crash()
+
+    def test_restart_without_crash_rejected(self, node):
+        with pytest.raises(RuntimeError):
+            node.restart()
+
+    def test_crash_count_tracked(self, node):
+        node.crash()
+        node.restart()
+        node.crash()
+        node.restart()
+        assert node.crash_count == 2
+
+    def test_crash_without_wal_loses_everything(self, env):
+        node = DataNode(env, 0, 0, 10.0)  # no WAL
+        node.store.insert(Record(key=1, value=10))
+        node.crash()
+        node.restart()
+        assert len(node.store) == 0
+
+    def test_repeated_crash_recover_cycles_idempotent(self, node):
+        committed_insert(node, 1, 5, 50)
+        for _ in range(3):
+            node.crash()
+            node.restart()
+        assert node.store.read(5) == 50
+
+    def test_new_traffic_after_restart_journals(self, node):
+        committed_insert(node, 1, 5, 50)
+        node.crash()
+        node.restart()
+        committed_insert(node, 2, 6, 60)
+        node.crash()
+        node.restart()
+        assert node.store.read(5) == 50
+        assert node.store.read(6) == 60

@@ -1,0 +1,18 @@
+"""Shared pytest fixtures; also makes the suite runnable uninstalled."""
+
+import pathlib
+import sys
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+import pytest  # noqa: E402
+
+from repro.sim import Environment  # noqa: E402
+
+
+@pytest.fixture
+def env() -> Environment:
+    """A fresh simulation environment."""
+    return Environment()

@@ -1,0 +1,90 @@
+"""Tests for the PID controller (Equation 1)."""
+
+import pytest
+
+from repro.control import PIDController
+
+
+class TestProportional:
+    def test_pure_p_output_is_kp_times_error(self):
+        pid = PIDController(kp=2.0, setpoint=10.0)
+        assert pid.update(4.0) == pytest.approx(12.0)  # e = 6
+
+    def test_error_sign(self):
+        pid = PIDController(kp=1.0, setpoint=1.0)
+        assert pid.update(2.0) == pytest.approx(-1.0)
+
+    def test_paper_gains_are_pure_p(self):
+        """Kp=1, Ki=0, Kd=0 (§4.1) => u(t) = e(t)."""
+        pid = PIDController(kp=1.0, ki=0.0, kd=0.0, setpoint=1.05)
+        assert pid.update(1.0) == pytest.approx(0.05)
+        assert pid.update(1.10) == pytest.approx(-0.05)
+
+
+class TestIntegral:
+    def test_integral_accumulates(self):
+        pid = PIDController(kp=0.0, ki=1.0, setpoint=1.0)
+        assert pid.update(0.0) == pytest.approx(1.0)
+        assert pid.update(0.0) == pytest.approx(2.0)
+
+    def test_integral_scales_with_dt(self):
+        pid = PIDController(kp=0.0, ki=1.0, setpoint=1.0)
+        assert pid.update(0.0, dt=0.5) == pytest.approx(0.5)
+
+    def test_anti_windup_clamps(self):
+        pid = PIDController(kp=0.0, ki=1.0, setpoint=10.0,
+                            integral_limit=5.0)
+        for _ in range(10):
+            out = pid.update(0.0)
+        assert out == pytest.approx(5.0)
+
+    def test_invalid_integral_limit(self):
+        with pytest.raises(ValueError):
+            PIDController(integral_limit=0)
+
+
+class TestDerivative:
+    def test_first_step_has_no_derivative(self):
+        pid = PIDController(kp=0.0, kd=1.0, setpoint=0.0)
+        assert pid.update(5.0) == pytest.approx(0.0)
+
+    def test_derivative_tracks_error_change(self):
+        pid = PIDController(kp=0.0, kd=1.0, setpoint=0.0)
+        pid.update(5.0)          # e = -5
+        assert pid.update(3.0) == pytest.approx(2.0)  # de = -3-(-5)
+
+    def test_derivative_scales_inverse_dt(self):
+        pid = PIDController(kp=0.0, kd=1.0, setpoint=0.0)
+        pid.update(5.0, dt=0.5)
+        assert pid.update(3.0, dt=0.5) == pytest.approx(4.0)
+
+
+class TestLifecycle:
+    def test_reset_clears_state(self):
+        pid = PIDController(kp=1.0, ki=1.0, kd=1.0, setpoint=1.0)
+        pid.update(0.0)
+        pid.update(0.5)
+        pid.reset()
+        # After reset, behaves like a fresh controller.
+        fresh = PIDController(kp=1.0, ki=1.0, kd=1.0, setpoint=1.0)
+        assert pid.update(0.3) == pytest.approx(fresh.update(0.3))
+
+    def test_last_output_tracked(self):
+        pid = PIDController(kp=1.0, setpoint=2.0)
+        pid.update(1.0)
+        assert pid.last_output == pytest.approx(1.0)
+
+    def test_invalid_dt_rejected(self):
+        pid = PIDController()
+        with pytest.raises(ValueError):
+            pid.update(0.0, dt=0)
+
+    def test_convergence_in_velocity_form(self):
+        """Integrating a pure-P controller's output converges on SP."""
+        pid = PIDController(kp=0.5, setpoint=1.0)
+        actuation = 0.0
+        pv = 0.0
+        for _ in range(100):
+            actuation += pid.update(pv)
+            pv = actuation  # plant: PV follows actuation exactly
+        assert pv == pytest.approx(1.0, abs=1e-6)

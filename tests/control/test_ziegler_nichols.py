@@ -1,0 +1,87 @@
+"""Tests for Ziegler–Nichols tuning."""
+
+import math
+
+import pytest
+
+from repro.control import (
+    UltimateGainProbe,
+    classic_p_gains,
+    classic_pi_gains,
+    classic_pid_gains,
+)
+
+
+class TestGainTables:
+    def test_p_rule(self):
+        gains = classic_p_gains(ku=4.0)
+        assert gains.kp == pytest.approx(2.0)
+        assert gains.ki == 0.0
+        assert gains.kd == 0.0
+
+    def test_pi_rule(self):
+        gains = classic_pi_gains(ku=4.0, tu=2.0)
+        assert gains.kp == pytest.approx(1.8)
+        assert gains.ki == pytest.approx(1.8 / (2.0 / 1.2))
+        assert gains.kd == 0.0
+
+    def test_pid_rule(self):
+        gains = classic_pid_gains(ku=4.0, tu=2.0)
+        assert gains.kp == pytest.approx(2.4)
+        assert gains.ki == pytest.approx(2.4 / 1.0)
+        assert gains.kd == pytest.approx(2.4 * 0.25)
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_invalid_ku_rejected(self, bad):
+        with pytest.raises(ValueError):
+            classic_pid_gains(bad, 1.0)
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_invalid_tu_rejected(self, bad):
+        with pytest.raises(ValueError):
+            classic_pid_gains(1.0, bad)
+
+
+class TestUltimateGainProbe:
+    def test_detects_sustained_sine(self):
+        probe = UltimateGainProbe(setpoint=1.0)
+        period = 4.0
+        detected = False
+        t = 0.0
+        while t < 60 and not detected:
+            pv = 1.0 + 0.3 * math.sin(2 * math.pi * t / period)
+            detected = probe.observe(t, pv)
+            t += 0.1
+        assert detected
+        assert probe.ultimate_period == pytest.approx(period, rel=0.1)
+
+    def test_ignores_decaying_oscillation(self):
+        probe = UltimateGainProbe(setpoint=0.0)
+        period = 4.0
+        t = 0.0
+        detected = False
+        while t < 60:
+            amplitude = math.exp(-0.2 * t)
+            pv = amplitude * math.sin(2 * math.pi * t / period)
+            if probe.observe(t, pv):
+                detected = True
+            t += 0.1
+        assert not detected
+
+    def test_ignores_flat_signal(self):
+        probe = UltimateGainProbe(setpoint=1.0)
+        for t in range(100):
+            assert not probe.observe(float(t), 1.0)
+
+    def test_irregular_period_rejected(self):
+        probe = UltimateGainProbe(setpoint=0.0)
+        # Crossings at erratic spacings.
+        values = [1, -1, 1, 1, 1, -1, 1, -1, -1, -1, 1, -1]
+        detected = False
+        t = 0.0
+        gaps = [0.5, 3.0, 0.2, 2.4, 0.9, 4.0, 0.3, 1.7, 2.2, 0.1, 3.3, 0.6]
+        for value, gap in zip(values, gaps):
+            t += gap
+            if probe.observe(t, value):
+                detected = True
+        assert not detected

@@ -1,0 +1,60 @@
+"""Tests for the Repartitioner coordinator."""
+
+import pytest
+
+from repro.core import ApplyAllScheduler, HybridScheduler
+
+
+class TestRankPlan:
+    def test_rank_plan_diffs_live_map(self, harness):
+        specs = harness.repartitioner.rank_plan(
+            harness.plan, harness.profile
+        )
+        assert len(specs) == len(harness.profile.types)
+        densities = [s.benefit_density for s in specs]
+        assert densities == sorted(densities, reverse=True)
+
+    def test_identity_plan_yields_nothing(self, harness):
+        from repro.partitioning import plan_from_map
+
+        specs = harness.repartitioner.rank_plan(
+            plan_from_map(harness.stack.pmap), harness.profile
+        )
+        assert specs == []
+
+
+class TestDeploy:
+    def test_deploy_wires_scheduler_hooks(self, harness):
+        scheduler = ApplyAllScheduler()
+        session = harness.repartitioner.deploy(harness.specs, scheduler)
+        assert harness.stack.tm.scheduler is scheduler
+        assert scheduler.on_interval in (
+            harness.stack.metrics.interval_observers
+        )
+        assert scheduler.session is session
+
+    def test_deploy_plan_end_to_end(self, harness):
+        session = harness.repartitioner.deploy_plan(
+            harness.plan, harness.profile, ApplyAllScheduler()
+        )
+        harness.stack.env.run(until=2000)
+        assert session.is_complete
+        for ttype in harness.profile.types:
+            homes = {harness.stack.pmap.primary_of(k) for k in ttype.keys}
+            assert len(homes) == 1
+
+    def test_second_concurrent_session_rejected(self, harness):
+        harness.repartitioner.deploy(harness.specs, ApplyAllScheduler())
+        with pytest.raises(RuntimeError, match="already active"):
+            harness.repartitioner.deploy(
+                harness.specs, HybridScheduler()
+            )
+
+    def test_new_session_allowed_after_completion(self, harness):
+        session = harness.repartitioner.deploy(
+            harness.specs, ApplyAllScheduler()
+        )
+        harness.stack.env.run(until=2000)
+        assert session.is_complete
+        second = harness.repartitioner.deploy([], ApplyAllScheduler())
+        assert second.is_complete

@@ -1,0 +1,158 @@
+"""Tests for the repartition session's state machine."""
+
+import pytest
+
+from repro.core.session import RepState
+from repro.types import Priority
+
+from .conftest import build_harness
+
+
+class TestInitialState:
+    def test_all_pending_initially(self, harness):
+        session = harness.session()
+        for rep_txn in session.rep_txns:
+            assert session.state_of(rep_txn.txn_id) is RepState.PENDING
+        assert session.unfinished_count() == len(session.rep_txns)
+        assert not session.is_complete
+
+    def test_trep_maps_types_to_transactions(self, harness):
+        session = harness.session()
+        assert set(session.trep) == {t.type_id for t in harness.profile.types}
+
+    def test_ops_total_registered_with_metrics(self, harness):
+        session = harness.session()
+        assert harness.stack.metrics.rep_ops_total == session.ops_total
+        assert session.ops_total == sum(
+            len(t.rep_ops) for t in session.rep_txns
+        )
+
+    def test_rep_txns_in_rank_order(self, harness):
+        session = harness.session()
+        densities = [t.benefit_density for t in session.rep_txns]
+        assert densities == sorted(densities, reverse=True)
+
+    def test_empty_session_completes_immediately(self, harness):
+        from repro.core.session import RepartitionSession
+
+        session = RepartitionSession(
+            harness.stack.env, harness.stack.tm, harness.stack.metrics, []
+        )
+        assert session.completed.triggered
+
+
+class TestSubmission:
+    def test_submit_moves_to_queued(self, harness):
+        session = harness.session()
+        rep = session.rep_txns[0]
+        session.submit(rep, Priority.LOW)
+        assert session.state_of(rep.txn_id) is RepState.QUEUED
+        assert rep.txn_id in harness.stack.tm.queue
+
+    def test_double_submit_rejected(self, harness):
+        session = harness.session()
+        rep = session.rep_txns[0]
+        session.submit(rep, Priority.LOW)
+        with pytest.raises(ValueError):
+            session.submit(rep, Priority.LOW)
+
+    def test_promote_requeues_at_new_priority(self, harness):
+        session = harness.session()
+        rep = session.rep_txns[0]
+        session.submit(rep, Priority.LOW)
+        assert session.promote(rep, Priority.NORMAL)
+        assert rep.priority is Priority.NORMAL
+        assert session.state_of(rep.txn_id) is RepState.QUEUED
+
+    def test_promote_pending_fails(self, harness):
+        session = harness.session()
+        assert not session.promote(session.rep_txns[0], Priority.NORMAL)
+
+
+class TestPiggybackClaims:
+    def test_claim_pending_transaction(self, harness):
+        session = harness.session()
+        type_id = session.rep_txns[0].type_id
+        claimed = session.claim_for_piggyback(type_id)
+        assert claimed is session.rep_txns[0]
+        assert session.state_of(claimed.txn_id) is RepState.PIGGYBACKED
+
+    def test_claim_unknown_type_returns_none(self, harness):
+        session = harness.session()
+        assert session.claim_for_piggyback(999) is None
+
+    def test_claim_queued_transaction_removes_from_queue(self, harness):
+        session = harness.session()
+        rep = session.rep_txns[0]
+        session.submit(rep, Priority.LOW)
+        claimed = session.claim_for_piggyback(rep.type_id)
+        assert claimed is rep
+        assert rep.txn_id not in harness.stack.tm.queue
+
+    def test_claim_dispatched_transaction_returns_none(self, harness):
+        session = harness.session()
+        rep = session.rep_txns[0]
+        session.submit(rep, Priority.NORMAL)
+        harness.stack.env.run(until=0.001)  # dispatcher picks it up
+        assert session.claim_for_piggyback(rep.type_id) is None
+
+    def test_release_returns_to_pending(self, harness):
+        session = harness.session()
+        rep = session.rep_txns[0]
+        session.claim_for_piggyback(rep.type_id)
+        released = session.release_piggyback(rep.txn_id)
+        assert released is rep
+        assert session.state_of(rep.txn_id) is RepState.PENDING
+
+    def test_release_non_piggybacked_returns_none(self, harness):
+        session = harness.session()
+        assert session.release_piggyback(session.rep_txns[0].txn_id) is None
+
+    def test_claimed_type_can_be_reclaimed_after_release(self, harness):
+        session = harness.session()
+        rep = session.rep_txns[0]
+        session.claim_for_piggyback(rep.type_id)
+        session.release_piggyback(rep.txn_id)
+        assert session.claim_for_piggyback(rep.type_id) is rep
+
+
+class TestCompletion:
+    def test_complete_removes_from_trep(self, harness):
+        session = harness.session()
+        rep = session.rep_txns[0]
+        session.complete(rep.txn_id)
+        assert session.state_of(rep.txn_id) is RepState.DONE
+        assert rep.type_id not in session.trep
+
+    def test_complete_is_idempotent(self, harness):
+        session = harness.session()
+        rep = session.rep_txns[0]
+        session.complete(rep.txn_id)
+        session.complete(rep.txn_id)
+        assert session.unfinished_count() == len(session.rep_txns) - 1
+
+    def test_completion_event_fires_when_all_done(self, harness):
+        session = harness.session()
+        for rep in session.rep_txns:
+            assert not session.completed.triggered
+            session.complete(rep.txn_id)
+        assert session.completed.triggered
+        assert session.is_complete
+
+    def test_pending_lists_in_rank_order(self, harness):
+        session = harness.session()
+        session.complete(session.rep_txns[1].txn_id)
+        pending = session.pending()
+        assert session.rep_txns[1] not in pending
+        assert pending == [
+            t
+            for t in session.rep_txns
+            if session.state_of(t.txn_id) is RepState.PENDING
+        ]
+
+    def test_mean_rep_txn_cost(self, harness):
+        session = harness.session()
+        costs = [t.cost for t in session.rep_txns]
+        assert session.mean_rep_txn_cost() == pytest.approx(
+            sum(costs) / len(costs)
+        )

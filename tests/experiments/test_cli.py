@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.scheduler == "Hybrid"
+        assert args.distribution == "zipf"
+        assert args.load == "high"
+        assert args.alpha == 1.0
+
+    def test_run_overrides(self):
+        args = build_parser().parse_args(
+            ["run", "--scheduler", "ApplyAll", "--load", "low",
+             "--alpha", "0.6", "--intervals", "7"]
+        )
+        assert args.scheduler == "ApplyAll"
+        assert args.load == "low"
+        assert args.alpha == 0.6
+        assert args.intervals == 7
+
+    def test_unknown_scheduler_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--scheduler", "Magic"])
+
+    def test_figure_requires_valid_number(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "9"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_table1_prints_setpoints(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "1.25" in out and "Hybrid" in out
+
+    def test_run_small_cell(self, capsys):
+        code = main(
+            ["run", "--scheduler", "ApplyAll", "--intervals", "4",
+             "--warmup", "1", "--load", "low"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "RepRate" in out
+        assert "mean_failure_rate" in out
+
+
+class TestSweepCommand:
+    def test_sweep_parses_seeds(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["sweep", "--seeds", "3", "7", "--intervals", "4"]
+        )
+        assert args.seeds == [3, 7]
+
+    def test_sweep_runs_and_aggregates(self, capsys):
+        code = main(
+            ["sweep", "--scheduler", "ApplyAll", "--load", "low",
+             "--intervals", "3", "--warmup", "1", "--seeds", "1", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "±" in out
+        assert "completion fraction" in out

@@ -1,0 +1,129 @@
+"""Tests for experiment configs and the Table 1 setpoint registry."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import (
+    HIGH_LOAD_UTILISATION,
+    LOW_LOAD_UTILISATION,
+    SCHEDULER_NAMES,
+    SP_TABLE,
+    ExperimentConfig,
+    RuntimeConfig,
+    bench_scale,
+    format_table1,
+    paper_scale,
+    setpoint_for,
+)
+
+
+class TestExperimentConfig:
+    def test_defaults_valid(self):
+        config = ExperimentConfig()
+        assert config.scheduler in SCHEDULER_NAMES
+
+    def test_load_levels(self):
+        assert ExperimentConfig(load="high").utilisation_target == (
+            HIGH_LOAD_UTILISATION
+        )
+        assert ExperimentConfig(load="low").utilisation_target == (
+            LOW_LOAD_UTILISATION
+        )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"scheduler": "Magic"},
+            {"distribution": "pareto"},
+            {"load": "medium"},
+            {"alpha": 0.0},
+            {"alpha": 1.5},
+        ],
+    )
+    def test_invalid_cells_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            ExperimentConfig(**kwargs)
+
+    def test_with_overrides(self):
+        config = ExperimentConfig()
+        other = config.with_overrides(alpha=0.6, load="low")
+        assert other.alpha == 0.6
+        assert config.alpha == 1.0
+
+    def test_runtime_validation(self):
+        with pytest.raises(ConfigError):
+            RuntimeConfig(interval_s=0)
+        with pytest.raises(ConfigError):
+            RuntimeConfig(queue_timeout_s=-1)
+        with pytest.raises(ConfigError):
+            RuntimeConfig(measure_intervals=0)
+
+
+class TestPresets:
+    def test_bench_scale_names_cells(self):
+        config = bench_scale("Hybrid", "zipf", "high", 0.6)
+        assert config.name == "Hybrid-zipf-high-a60"
+        assert config.alpha == 0.6
+
+    def test_bench_scale_type_counts_by_distribution(self):
+        assert bench_scale(distribution="uniform").workload.distinct_types > (
+            bench_scale(distribution="zipf").workload.distinct_types
+        )
+
+    def test_medium_scale_between_bench_and_paper(self):
+        from repro.experiments import medium_scale
+
+        bench = bench_scale()
+        medium = medium_scale()
+        paper = paper_scale()
+        assert (
+            bench.workload.tuple_count
+            < medium.workload.tuple_count
+            < paper.workload.tuple_count
+        )
+        assert medium.runtime.measure_intervals == 120
+
+    def test_paper_scale_matches_paper_sizes(self):
+        config = paper_scale(distribution="zipf")
+        assert config.workload.tuple_count == 500_000
+        assert config.workload.distinct_types == 23_457
+        assert config.cluster.node_count == 5
+        uniform = paper_scale(distribution="uniform")
+        assert uniform.workload.distinct_types == 30_000
+
+
+class TestTable1:
+    def test_full_coverage(self):
+        """Every (algorithm, dist, load, alpha) cell of Table 1 exists."""
+        for algorithm in ("Feedback", "Hybrid"):
+            for distribution in ("zipf", "uniform"):
+                for load in ("high", "low"):
+                    for alpha in (1.0, 0.6, 0.2):
+                        assert (
+                            algorithm, distribution, load, alpha
+                        ) in SP_TABLE
+
+    def test_known_values_from_paper(self):
+        assert setpoint_for("Feedback", "uniform", "high", 1.0) == 1.25
+        assert setpoint_for("Feedback", "zipf", "high", 0.2) == 1.10
+        assert setpoint_for("Feedback", "zipf", "low", 0.2) == 1.015
+        assert setpoint_for("Hybrid", "zipf", "high", 1.0) == 1.05
+
+    def test_alpha_snaps_to_nearest(self):
+        assert setpoint_for("Hybrid", "zipf", "high", 0.55) == (
+            setpoint_for("Hybrid", "zipf", "high", 0.6)
+        )
+
+    def test_non_feedback_algorithms_rejected(self):
+        with pytest.raises(ConfigError):
+            setpoint_for("ApplyAll", "zipf", "high", 1.0)
+
+    def test_all_setpoints_on_ratio_scale(self):
+        for value in SP_TABLE.values():
+            assert 1.0 < value < 2.0
+
+    def test_format_table1_renders_all_rows(self):
+        text = format_table1()
+        assert "Feedback" in text and "Hybrid" in text
+        assert "1.25" in text and "1.015" in text
+        assert len(text.splitlines()) == 6

@@ -1,0 +1,90 @@
+"""Tests for the figure-regeneration harness (small custom cells)."""
+
+import pytest
+
+from repro.experiments.figures import (
+    GRID_ALPHAS,
+    GRID_METRICS,
+    FigureResult,
+    _run_cells,
+)
+
+from .test_runner import tiny
+
+
+def tiny_factory(scheduler, distribution, load, alpha, seed):
+    return tiny(
+        scheduler=scheduler,
+        distribution=distribution,
+        load=load,
+        alpha=alpha,
+        seed=seed,
+        measure_intervals=4,
+        warmup_intervals=1,
+    )
+
+
+@pytest.fixture(scope="module")
+def figure():
+    return _run_cells(
+        "Test Figure",
+        "zipf",
+        "low",
+        alphas=(1.0, 0.6),
+        schedulers=("ApplyAll", "Hybrid"),
+        config_factory=tiny_factory,
+    )
+
+
+class TestRunCells:
+    def test_one_run_per_cell(self, figure):
+        assert set(figure.runs) == {
+            ("ApplyAll", 1.0),
+            ("Hybrid", 1.0),
+            ("ApplyAll", 0.6),
+            ("Hybrid", 0.6),
+        }
+
+    def test_records_are_measured_intervals(self, figure):
+        records = figure.records("ApplyAll", 1.0)
+        assert len(records) == 4  # measure_intervals
+
+    def test_panel_selects_one_alpha(self, figure):
+        panel = figure.panel("rep_rate", 0.6)
+        assert set(panel) == {"ApplyAll", "Hybrid"}
+
+    def test_progress_callback_invoked(self):
+        seen = []
+        _run_cells(
+            "F",
+            "zipf",
+            "low",
+            alphas=(1.0,),
+            schedulers=("ApplyAll",),
+            config_factory=tiny_factory,
+            progress=seen.append,
+        )
+        assert seen == ["F: ApplyAll alpha=1.0"]
+
+
+class TestRendering:
+    def test_render_covers_grid(self, figure):
+        text = figure.render(every=1)
+        for _metric, label in GRID_METRICS:
+            assert label in text
+        assert "alpha=100%" in text and "alpha=60%" in text
+        assert "ApplyAll" in text and "Hybrid" in text
+
+    def test_render_includes_sparklines(self, figure):
+        text = figure.render(every=1)
+        assert any(block in text for block in "▁▂▃▄▅▆▇█")
+
+    def test_grid_constants_match_paper(self):
+        assert GRID_ALPHAS == (1.0, 0.6, 0.2)
+        assert [m for m, _l in GRID_METRICS] == [
+            "rep_rate", "throughput_txn_per_min", "mean_latency_ms",
+        ]
+
+    def test_empty_figure_renders(self):
+        figure = FigureResult(figure="Empty")
+        assert figure.render() == ""

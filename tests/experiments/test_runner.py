@@ -1,0 +1,145 @@
+"""Tests for the experiment runner and scheduler factory."""
+
+import pytest
+
+from repro.core import (
+    AfterAllScheduler,
+    ApplyAllScheduler,
+    FeedbackScheduler,
+    HybridScheduler,
+    PiggybackScheduler,
+)
+from repro.experiments import (
+    bench_scale,
+    build_system,
+    make_scheduler,
+    run_experiment,
+    setpoint_for,
+    start_repartitioning,
+)
+from repro.experiments.config import SchedulerConfig
+
+
+def tiny(scheduler="Hybrid", **kwargs):
+    """A very small, fast experiment cell."""
+    config = bench_scale(
+        scheduler=scheduler,
+        measure_intervals=kwargs.pop("measure_intervals", 6),
+        warmup_intervals=kwargs.pop("warmup_intervals", 2),
+        **kwargs,
+    )
+    from dataclasses import replace
+
+    from repro.cluster import ClusterConfig
+    from repro.workload import WorkloadConfig
+
+    return replace(
+        config,
+        cluster=ClusterConfig(node_count=3, capacity_units_per_s=4.0),
+        workload=WorkloadConfig(
+            tuple_count=200,
+            distinct_types=40,
+            distribution=config.workload.distribution,
+        ),
+    )
+
+
+class TestSchedulerFactory:
+    @pytest.mark.parametrize(
+        "name, cls",
+        [
+            ("ApplyAll", ApplyAllScheduler),
+            ("AfterAll", AfterAllScheduler),
+            ("Feedback", FeedbackScheduler),
+            ("Piggyback", PiggybackScheduler),
+            ("Hybrid", HybridScheduler),
+        ],
+    )
+    def test_factory_builds_each_strategy(self, name, cls):
+        scheduler = make_scheduler(
+            bench_scale(scheduler=name), normal_cost_hint=10.0
+        )
+        assert isinstance(scheduler, cls)
+
+    def test_feedback_setpoint_from_table1(self):
+        config = bench_scale("Feedback", "uniform", "high", 1.0)
+        scheduler = make_scheduler(config, normal_cost_hint=10.0)
+        assert scheduler.pid.setpoint == setpoint_for(
+            "Feedback", "uniform", "high", 1.0
+        )
+
+    def test_explicit_setpoint_overrides_table(self):
+        config = bench_scale("Feedback").with_overrides(
+            scheduling=SchedulerConfig(setpoint=1.42)
+        )
+        scheduler = make_scheduler(config, normal_cost_hint=10.0)
+        assert scheduler.pid.setpoint == 1.42
+
+
+class TestBuildSystem:
+    def test_system_wired_consistently(self):
+        system = build_system(tiny())
+        assert system.cluster.config.node_count == 3
+        assert len(system.router.partition_map) == 200
+        assert system.arrival_rate_txn_per_s > 0
+        # All stores loaded per the map.
+        total = sum(len(n.store) for n in system.cluster.nodes)
+        assert total == 200
+
+    def test_alpha_controls_distributed_fraction(self):
+        full = build_system(tiny(alpha=1.0))
+        partial = build_system(tiny(alpha=0.2))
+        assert len(full.distributed_type_ids) == 40
+        assert len(partial.distributed_type_ids) == 8
+
+    def test_high_load_rate_exceeds_low(self):
+        high = build_system(tiny(load="high"))
+        low = build_system(tiny(load="low"))
+        assert high.arrival_rate_txn_per_s > low.arrival_rate_txn_per_s
+
+    def test_lower_alpha_means_higher_rate(self):
+        """Cheaper average cost => more transactions (paper §4.2)."""
+        full = build_system(tiny(alpha=1.0))
+        partial = build_system(tiny(alpha=0.2))
+        assert partial.arrival_rate_txn_per_s > full.arrival_rate_txn_per_s
+
+
+class TestStartRepartitioning:
+    def test_session_covers_distributed_types(self):
+        system = build_system(tiny(alpha=0.5))
+        session = start_repartitioning(system)
+        benefiting = {t.type_id for t in session.rep_txns if t.type_id >= 0}
+        assert benefiting == system.distributed_type_ids
+
+
+class TestRunExperiment:
+    def test_produces_expected_interval_count(self):
+        result = run_experiment(tiny())
+        assert len(result.intervals) == 8  # 2 warmup + 6 measured
+        assert len(result.measured) == 6
+
+    def test_deterministic_across_runs(self):
+        first = run_experiment(tiny(seed=3))
+        second = run_experiment(tiny(seed=3))
+        assert first.summary == second.summary
+        for a, b in zip(first.intervals, second.intervals):
+            assert a.submitted == b.submitted
+            assert a.committed == b.committed
+            assert a.aborted == b.aborted
+
+    def test_seed_changes_outcome(self):
+        first = run_experiment(tiny(seed=1))
+        second = run_experiment(tiny(seed=2))
+        assert first.summary != second.summary
+
+    def test_summary_populated(self):
+        result = run_experiment(tiny())
+        assert result.summary["total_committed"] > 0
+        assert result.rep_ops_total > 0
+
+    def test_applyall_completes_repartitioning(self):
+        result = run_experiment(
+            tiny(scheduler="ApplyAll", measure_intervals=15)
+        )
+        assert result.completion_interval is not None
+        assert result.repartition_completed_at is not None

@@ -1,0 +1,84 @@
+"""Tests for multi-seed sweeps and aggregate statistics."""
+
+import pytest
+
+from repro.experiments import (
+    MetricStats,
+    format_sweep_comparison,
+    sweep_seeds,
+)
+
+from .test_runner import tiny
+
+
+class TestMetricStats:
+    def test_single_sample(self):
+        stats = MetricStats.from_values([4.0])
+        assert stats.mean == 4.0
+        assert stats.std == 0.0
+        assert stats.samples == 1
+
+    def test_known_values(self):
+        stats = MetricStats.from_values([1.0, 3.0])
+        assert stats.mean == 2.0
+        assert stats.std == pytest.approx(1.0)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MetricStats.from_values([])
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return sweep_seeds(tiny(scheduler="ApplyAll"), seeds=(1, 2, 3))
+
+    def test_one_result_per_seed(self, sweep):
+        assert len(sweep.results) == 3
+        assert [r.config.seed for r in sweep.results] == [1, 2, 3]
+
+    def test_seeds_produce_different_outcomes(self, sweep):
+        submitted = {
+            sum(r.submitted for r in result.intervals)
+            for result in sweep.results
+        }
+        assert len(submitted) > 1
+
+    def test_stats_over_summary_metric(self, sweep):
+        stats = sweep.stats("total_committed")
+        assert stats.samples == 3
+        assert stats.minimum <= stats.mean <= stats.maximum
+
+    def test_completion_fraction(self, sweep):
+        fraction = sweep.completion_fraction()
+        assert 0.0 <= fraction <= 1.0
+
+    def test_empty_seed_list_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_seeds(tiny(), seeds=())
+
+    def test_progress_callback(self):
+        seen = []
+        sweep_seeds(
+            tiny(measure_intervals=3), seeds=(7,), progress=seen.append
+        )
+        assert seen == [7]
+
+
+class TestFormatting:
+    def test_comparison_table(self):
+        sweeps = {
+            "ApplyAll": sweep_seeds(
+                tiny(scheduler="ApplyAll", measure_intervals=4),
+                seeds=(1, 2),
+            ),
+            "Hybrid": sweep_seeds(
+                tiny(scheduler="Hybrid", measure_intervals=4), seeds=(1, 2)
+            ),
+        }
+        text = format_sweep_comparison(sweeps)
+        assert "ApplyAll" in text and "Hybrid" in text
+        assert "±" in text
+        assert "completion fraction" in text

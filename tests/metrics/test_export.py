@@ -1,0 +1,83 @@
+"""Tests for JSON/CSV export of experiment results."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.experiments import bench_scale, run_experiment
+from repro.metrics import (
+    INTERVAL_FIELDS,
+    IntervalRecord,
+    interval_to_dict,
+    intervals_to_csv,
+    result_to_dict,
+    result_to_json,
+    save_result,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    from dataclasses import replace
+
+    from repro.cluster import ClusterConfig
+    from repro.workload import WorkloadConfig
+
+    config = bench_scale(
+        scheduler="ApplyAll", load="low",
+        measure_intervals=5, warmup_intervals=1,
+    )
+    config = replace(
+        config,
+        cluster=ClusterConfig(node_count=3, capacity_units_per_s=4.0),
+        workload=WorkloadConfig(tuple_count=200, distinct_types=40),
+    )
+    return run_experiment(config)
+
+
+class TestIntervalExport:
+    def test_dict_has_all_fields(self):
+        record = IntervalRecord(index=3, start=60.0, end=80.0)
+        record.submitted = 10
+        data = interval_to_dict(record)
+        assert set(data) == set(INTERVAL_FIELDS)
+        assert data["index"] == 3
+        assert data["submitted"] == 10
+        assert data["failure_rate"] == 0.0
+
+    def test_csv_roundtrip(self, result):
+        text = intervals_to_csv(result.intervals)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == len(result.intervals)
+        assert rows[0]["index"] == "0"
+        # Numeric columns parse back.
+        for row in rows:
+            float(row["throughput_txn_per_min"])
+            float(row["rep_rate"])
+
+
+class TestResultExport:
+    def test_dict_structure(self, result):
+        data = result_to_dict(result)
+        assert data["config"]["scheduler"] == "ApplyAll"
+        assert data["rep_ops_total"] == result.rep_ops_total
+        assert len(data["intervals"]) == len(result.intervals)
+        assert "mean_failure_rate" in data["summary"]
+
+    def test_json_parses(self, result):
+        parsed = json.loads(result_to_json(result))
+        assert parsed["config"]["name"] == result.config.name
+
+    def test_save_json_and_csv(self, result, tmp_path):
+        json_path = tmp_path / "out.json"
+        csv_path = tmp_path / "out.csv"
+        save_result(result, str(json_path))
+        save_result(result, str(csv_path))
+        assert json.loads(json_path.read_text())["config"]
+        assert csv_path.read_text().startswith("index,")
+
+    def test_unknown_extension_rejected(self, result):
+        with pytest.raises(ValueError):
+            save_result(result, "out.parquet")

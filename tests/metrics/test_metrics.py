@@ -1,0 +1,243 @@
+"""Tests for interval metrics collection, series, and reports."""
+
+import pytest
+
+from repro.metrics import (
+    IntervalRecord,
+    MetricsCollector,
+    area_under,
+    first_index_reaching,
+    format_comparison_table,
+    format_interval_table,
+    mean,
+    series,
+    smooth,
+    summarise,
+)
+from repro.routing import Query
+from repro.txn import Transaction
+from repro.types import AccessMode, Priority, TxnKind
+
+
+def normal_txn(txn_id, submitted=0.0, finished=1.0, cost=2.0):
+    txn = Transaction(
+        txn_id=txn_id,
+        kind=TxnKind.NORMAL,
+        queries=[Query("t", 1, AccessMode.READ)],
+    )
+    txn.first_submitted_at = submitted
+    txn.finished_at = finished
+    txn.normal_cost_units = cost
+    return txn
+
+
+def rep_txn(txn_id, priority=Priority.NORMAL, cost=1.0):
+    from repro.partitioning import Migrate
+
+    txn = Transaction(
+        txn_id=txn_id,
+        kind=TxnKind.REPARTITION,
+        rep_ops=[Migrate(op_id=0, key=1, source=0, destination=1)],
+        priority=priority,
+    )
+    txn.rep_cost_units = cost
+    return txn
+
+
+class TestIntervalRecord:
+    def make(self, **kwargs):
+        record = IntervalRecord(index=0, start=0.0, end=20.0)
+        for key, value in kwargs.items():
+            setattr(record, key, value)
+        return record
+
+    def test_throughput_txn_per_min(self):
+        record = self.make(normal_committed=100)
+        assert record.throughput_txn_per_min == pytest.approx(300.0)
+
+    def test_failure_rate(self):
+        record = self.make(submitted=10, aborted=3)
+        assert record.failure_rate == pytest.approx(0.3)
+
+    def test_failure_rate_empty_interval(self):
+        assert self.make().failure_rate == 0.0
+
+    def test_rep_rate(self):
+        record = self.make(rep_ops_applied_cumulative=30, rep_ops_total=120)
+        assert record.rep_rate == pytest.approx(0.25)
+
+    def test_rep_rate_without_plan(self):
+        assert self.make().rep_rate == 0.0
+
+    def test_mean_latency(self):
+        record = self.make(latency_sum=3.0, latency_count=2)
+        assert record.mean_latency_s == pytest.approx(1.5)
+        assert record.mean_latency_ms == pytest.approx(1500.0)
+
+    def test_pv_ratios(self):
+        record = self.make(
+            normal_cost=100.0, rep_cost_high=5.0, rep_cost_piggyback=10.0
+        )
+        assert record.pv_ratio == pytest.approx(0.05)
+        assert record.pv_ratio_with_piggyback == pytest.approx(0.15)
+
+    def test_pv_ratio_zero_normal_cost(self):
+        assert self.make(rep_cost_high=5.0).pv_ratio == 0.0
+
+    def test_latency_percentile(self):
+        record = self.make(latencies=[1.0, 2.0, 3.0, 4.0])
+        assert record.latency_percentile(0) == 1.0
+        assert record.latency_percentile(100) == 4.0
+        assert record.latency_percentile(50) == pytest.approx(2.5)
+
+    def test_percentile_validation(self):
+        record = self.make(latencies=[1.0])
+        with pytest.raises(ValueError):
+            record.latency_percentile(101)
+
+
+class TestMetricsCollector:
+    def test_intervals_close_on_schedule(self, env):
+        collector = MetricsCollector(env, interval_s=10.0)
+        env.run(until=35)
+        assert len(collector.intervals) == 3
+        assert collector.intervals[0].start == 0.0
+        assert collector.intervals[0].end == 10.0
+        assert collector.intervals[2].index == 2
+
+    def test_events_attributed_to_current_interval(self, env):
+        collector = MetricsCollector(env, interval_s=10.0)
+
+        def activity():
+            collector.record_submitted(normal_txn(1))
+            yield env.timeout(12)
+            collector.record_submitted(normal_txn(2))
+            collector.record_committed(normal_txn(2, 12, 13))
+
+        env.process(activity())
+        env.run(until=25)
+        first, second = collector.intervals
+        assert first.submitted == 1
+        assert second.submitted == 1
+        assert second.normal_committed == 1
+        assert second.latency_count == 1
+
+    def test_rep_costs_split_by_priority(self, env):
+        collector = MetricsCollector(env, interval_s=10.0)
+        collector.record_committed(rep_txn(1, Priority.NORMAL, 5.0))
+        collector.record_committed(rep_txn(2, Priority.LOW, 7.0))
+        collector.record_committed(rep_txn(3, Priority.HIGH, 2.0))
+        env.run(until=10)
+        record = collector.intervals[0]
+        assert record.rep_cost_high == pytest.approx(7.0)  # NORMAL+HIGH
+        assert record.rep_cost_low == pytest.approx(7.0)
+        assert record.rep_committed == 3
+
+    def test_piggybacked_cost_tracked(self, env):
+        collector = MetricsCollector(env, interval_s=10.0)
+        carrier = normal_txn(1)
+        carrier.rep_cost_units = 3.0
+        collector.record_committed(carrier)
+        env.run(until=10)
+        record = collector.intervals[0]
+        assert record.rep_cost_piggyback == pytest.approx(3.0)
+        assert record.normal_cost == pytest.approx(2.0)
+
+    def test_rep_ops_progress_snapshot(self, env):
+        collector = MetricsCollector(env, interval_s=10.0)
+        collector.set_rep_ops_total(4)
+
+        def activity():
+            collector.record_rep_op_applied()
+            yield env.timeout(12)
+            collector.record_rep_op_applied()
+            collector.record_rep_op_applied()
+
+        env.process(activity())
+        env.run(until=25)
+        assert collector.intervals[0].rep_rate == pytest.approx(0.25)
+        assert collector.intervals[1].rep_rate == pytest.approx(0.75)
+
+    def test_observers_called_with_closed_record(self, env):
+        collector = MetricsCollector(env, interval_s=10.0)
+        seen = []
+        collector.interval_observers.append(
+            lambda record: seen.append(record.index)
+        )
+        env.run(until=30)
+        assert seen == [0, 1, 2]
+
+    def test_queue_probe_sampled_at_close(self, env):
+        values = iter([5, 9])
+        collector = MetricsCollector(
+            env, interval_s=10.0, queue_length_probe=lambda: next(values)
+        )
+        env.run(until=20)
+        assert [r.queue_length_end for r in collector.intervals] == [5, 9]
+
+    def test_invalid_interval_rejected(self, env):
+        with pytest.raises(ValueError):
+            MetricsCollector(env, interval_s=0)
+
+
+class TestSeriesHelpers:
+    def make_records(self, values):
+        records = []
+        for i, value in enumerate(values):
+            record = IntervalRecord(index=i, start=0, end=20)
+            record.normal_committed = value
+            records.append(record)
+        return records
+
+    def test_series_extraction(self):
+        records = self.make_records([1, 2, 3])
+        assert series(records, "normal_committed") == [1.0, 2.0, 3.0]
+
+    def test_mean_and_area(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        assert mean([]) == 0.0
+        assert area_under([1.0, 2.0]) == 3.0
+
+    def test_smooth_window(self):
+        assert smooth([0.0, 10.0, 0.0], window=3) == [5.0, 10 / 3, 5.0]
+        assert smooth([1.0, 2.0], window=1) == [1.0, 2.0]
+        with pytest.raises(ValueError):
+            smooth([1.0], window=0)
+
+    def test_first_index_reaching(self):
+        assert first_index_reaching([0.1, 0.5, 1.0], 1.0) == 2
+        assert first_index_reaching([0.1], 1.0) == -1
+
+
+class TestReports:
+    def make_records(self):
+        records = []
+        for i in range(3):
+            record = IntervalRecord(index=i, start=20.0 * i,
+                                    end=20.0 * (i + 1))
+            record.submitted = 10
+            record.normal_committed = 5 + i
+            record.aborted = 1
+            records.append(record)
+        return records
+
+    def test_interval_table_contains_rows(self):
+        text = format_interval_table(self.make_records())
+        assert "RepRate" in text
+        assert len(text.splitlines()) == 5
+
+    def test_comparison_table_has_all_schedulers(self):
+        results = {"Hybrid": self.make_records(),
+                   "ApplyAll": self.make_records()}
+        text = format_comparison_table(
+            results, "throughput_txn_per_min", title="Fig X", every=1
+        )
+        assert "Hybrid" in text and "ApplyAll" in text
+        assert "Fig X" in text
+        assert "mean" in text
+
+    def test_summarise_keys(self):
+        summary = summarise(self.make_records())
+        assert summary["total_committed"] == 18.0
+        assert summary["mean_failure_rate"] == pytest.approx(0.1)
+        assert "mean_throughput_txn_per_min" in summary

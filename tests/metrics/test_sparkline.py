@@ -1,0 +1,57 @@
+"""Tests for the sparkline renderer."""
+
+from repro.metrics import IntervalRecord, format_sparkline_panel, sparkline
+
+
+class TestSparkline:
+    def test_empty_series(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series_is_flat(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+
+    def test_monotone_ramp_is_monotone(self):
+        art = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert art == "".join(sorted(art))
+
+    def test_extremes_use_extreme_blocks(self):
+        art = sparkline([0.0, 1.0])
+        assert art[0] == "▁"
+        assert art[-1] == "█"
+
+    def test_length_matches_input(self):
+        assert len(sparkline(list(range(17)))) == 17
+
+    def test_negative_values_handled(self):
+        art = sparkline([-3.0, 0.0, 3.0])
+        assert art[0] == "▁" and art[-1] == "█"
+
+
+class TestSparklinePanel:
+    def make_records(self, values):
+        records = []
+        for i, value in enumerate(values):
+            record = IntervalRecord(index=i, start=0, end=20)
+            record.normal_committed = value
+            records.append(record)
+        return records
+
+    def test_panel_has_line_per_scheduler(self):
+        panel = format_sparkline_panel(
+            {
+                "Hybrid": self.make_records([1, 5, 9]),
+                "AfterAll": self.make_records([1, 1, 1]),
+            },
+            "normal_committed",
+            title="Demo",
+        )
+        lines = panel.splitlines()
+        assert lines[0] == "Demo"
+        assert len(lines) == 3
+        assert "min=1 max=9" in lines[1]
+
+    def test_empty_records(self):
+        panel = format_sparkline_panel(
+            {"Hybrid": []}, "normal_committed"
+        )
+        assert "no data" in panel

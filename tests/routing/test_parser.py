@@ -1,0 +1,105 @@
+"""Tests for the mini-SQL parser."""
+
+import pytest
+
+from repro.routing import (
+    Query,
+    QueryParseError,
+    extract_partition_attribute,
+    parse_query,
+    parse_transaction,
+)
+from repro.types import AccessMode
+
+
+class TestSelect:
+    def test_basic_select(self):
+        query = parse_query("SELECT value FROM accounts WHERE key = 42")
+        assert query.table == "accounts"
+        assert query.key == 42
+        assert query.mode is AccessMode.READ
+
+    def test_case_insensitive(self):
+        query = parse_query("select value from T where KEY=7")
+        assert query.key == 7
+
+    def test_trailing_semicolon(self):
+        assert parse_query("SELECT value FROM t WHERE key = 1;").key == 1
+
+    def test_negative_key(self):
+        assert parse_query("SELECT value FROM t WHERE key = -5").key == -5
+
+
+class TestUpdate:
+    def test_basic_update(self):
+        query = parse_query("UPDATE accounts SET value = 9 WHERE key = 3")
+        assert query.mode is AccessMode.WRITE
+        assert query.value == 9
+        assert query.key == 3
+
+    def test_whitespace_flexibility(self):
+        query = parse_query("  UPDATE t SET value=1 WHERE key=2  ")
+        assert (query.value, query.key) == (1, 2)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "DROP TABLE accounts",
+            "SELECT * FROM t WHERE key = 1",
+            "SELECT value FROM t WHERE name = 'bob'",
+            "UPDATE t SET other = 1 WHERE key = 2",
+            "INSERT INTO t VALUES (1)",
+            "SELECT value FROM t",
+        ],
+    )
+    def test_unsupported_statements_rejected(self, bad):
+        with pytest.raises(QueryParseError):
+            parse_query(bad)
+
+
+class TestBatch:
+    def test_semicolon_separated(self):
+        queries = parse_transaction(
+            "SELECT value FROM t WHERE key = 1; "
+            "UPDATE t SET value = 2 WHERE key = 3"
+        )
+        assert [q.key for q in queries] == [1, 3]
+
+    def test_newline_separated(self):
+        queries = parse_transaction(
+            "SELECT value FROM t WHERE key = 1\n"
+            "SELECT value FROM t WHERE key = 2\n"
+        )
+        assert len(queries) == 2
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(QueryParseError, match="no statements"):
+            parse_transaction("   \n ; ")
+
+
+class TestRoundTrip:
+    def test_read_query_roundtrips(self):
+        query = Query(table="t", key=5, mode=AccessMode.READ)
+        assert parse_query(query.to_sql()) == query
+
+    def test_write_query_roundtrips(self):
+        query = Query(table="t", key=5, mode=AccessMode.WRITE, value=7)
+        assert parse_query(query.to_sql()) == query
+
+    def test_extract_partition_attribute(self):
+        assert extract_partition_attribute(
+            "UPDATE t SET value = 1 WHERE key = 88"
+        ) == 88
+
+
+class TestQueryModel:
+    def test_write_defaults_value_to_zero(self):
+        query = Query(table="t", key=1, mode=AccessMode.WRITE)
+        assert query.value == 0
+
+    def test_is_write(self):
+        assert Query("t", 1, AccessMode.WRITE).is_write
+        assert not Query("t", 1, AccessMode.READ).is_write

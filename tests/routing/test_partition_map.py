@@ -1,0 +1,95 @@
+"""Tests for the partition lookup table."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing import PartitionMap
+
+
+@pytest.fixture
+def pmap():
+    mapping = PartitionMap()
+    for key in range(5):
+        mapping.assign(key, key % 2)
+    return mapping
+
+
+class TestLookup:
+    def test_assign_and_primary(self, pmap):
+        assert pmap.primary_of(0) == 0
+        assert pmap.primary_of(1) == 1
+
+    def test_replicas_start_single(self, pmap):
+        assert pmap.replicas_of(0) == (0,)
+        assert pmap.replica_count(0) == 1
+
+    def test_unknown_key_raises(self, pmap):
+        with pytest.raises(RoutingError, match="not mapped"):
+            pmap.primary_of(999)
+
+    def test_contains_and_len(self, pmap):
+        assert 0 in pmap
+        assert 999 not in pmap
+        assert len(pmap) == 5
+
+    def test_partition_sizes(self, pmap):
+        assert pmap.partition_sizes() == {0: 3, 1: 2}
+
+
+class TestMutation:
+    def test_double_assign_rejected(self, pmap):
+        with pytest.raises(RoutingError, match="already mapped"):
+            pmap.assign(0, 1)
+
+    def test_add_replica(self, pmap):
+        pmap.add_replica(0, 1)
+        assert set(pmap.replicas_of(0)) == {0, 1}
+        assert pmap.primary_of(0) == 0  # primary unchanged
+
+    def test_duplicate_replica_rejected(self, pmap):
+        with pytest.raises(RoutingError, match="already has a replica"):
+            pmap.add_replica(0, 0)
+
+    def test_remove_replica(self, pmap):
+        pmap.add_replica(0, 1)
+        pmap.remove_replica(0, 0)
+        assert pmap.replicas_of(0) == (1,)
+
+    def test_remove_last_replica_rejected(self, pmap):
+        with pytest.raises(RoutingError, match="last replica"):
+            pmap.remove_replica(0, 0)
+
+    def test_remove_absent_replica_rejected(self, pmap):
+        with pytest.raises(RoutingError, match="no replica"):
+            pmap.remove_replica(0, 3)
+
+    def test_move(self, pmap):
+        pmap.move(0, 0, 4)
+        assert pmap.primary_of(0) == 4
+
+    def test_move_from_wrong_source_rejected(self, pmap):
+        with pytest.raises(RoutingError, match="no replica"):
+            pmap.move(0, 3, 4)
+
+    def test_move_to_existing_replica_rejected(self, pmap):
+        pmap.add_replica(0, 1)
+        with pytest.raises(RoutingError, match="already has a replica"):
+            pmap.move(0, 0, 1)
+
+    def test_version_bumps_on_every_mutation(self, pmap):
+        version = pmap.version
+        pmap.add_replica(0, 1)
+        pmap.move(1, 1, 0)
+        pmap.remove_replica(0, 1)
+        assert pmap.version == version + 3
+
+
+class TestCopy:
+    def test_copy_is_deep(self, pmap):
+        clone = pmap.copy()
+        pmap.move(0, 0, 4)
+        assert clone.primary_of(0) == 0
+        assert pmap.primary_of(0) == 4
+
+    def test_copy_preserves_version(self, pmap):
+        assert pmap.copy().version == pmap.version

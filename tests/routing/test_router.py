@@ -1,0 +1,82 @@
+"""Tests for the query router."""
+
+import random
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.routing import PartitionMap, Query, QueryRouter
+from repro.types import AccessMode
+
+
+@pytest.fixture
+def pmap():
+    mapping = PartitionMap()
+    for key in range(10):
+        mapping.assign(key, key % 3)
+    return mapping
+
+
+class TestReadRouting:
+    def test_primary_policy_hits_primary(self, pmap):
+        router = QueryRouter(pmap)
+        assert router.route_read(4) == pmap.primary_of(4)
+
+    def test_random_policy_requires_rng(self, pmap):
+        with pytest.raises(RoutingError):
+            QueryRouter(pmap, read_policy="random")
+
+    def test_random_policy_spreads_over_replicas(self, pmap):
+        pmap.add_replica(0, 1)
+        pmap.add_replica(0, 2)
+        router = QueryRouter(
+            pmap, read_policy="random", rng=random.Random(0)
+        )
+        seen = {router.route_read(0) for _ in range(100)}
+        assert seen == {0, 1, 2}
+
+    def test_unknown_policy_rejected(self, pmap):
+        with pytest.raises(RoutingError):
+            QueryRouter(pmap, read_policy="nearest")
+
+
+class TestWriteRouting:
+    def test_write_goes_to_all_replicas(self, pmap):
+        pmap.add_replica(5, 0)
+        router = QueryRouter(pmap)
+        assert set(router.route_write(5)) == {pmap.primary_of(5), 0}
+
+    def test_counters(self, pmap):
+        router = QueryRouter(pmap)
+        router.route_read(1)
+        router.route_write(2)
+        router.route_write(3)
+        assert router.reads_routed == 1
+        assert router.writes_routed == 2
+
+
+class TestTransactionRouting:
+    def test_partitions_for_collects_all(self, pmap):
+        router = QueryRouter(pmap)
+        queries = [
+            Query("t", 0, AccessMode.READ),   # partition 0
+            Query("t", 1, AccessMode.WRITE),  # partition 1
+            Query("t", 3, AccessMode.READ),   # partition 0
+        ]
+        assert router.partitions_for(queries) == frozenset((0, 1))
+
+    def test_is_distributed(self, pmap):
+        router = QueryRouter(pmap)
+        local = [Query("t", 0, AccessMode.READ),
+                 Query("t", 3, AccessMode.READ)]
+        spread = [Query("t", 0, AccessMode.READ),
+                  Query("t", 1, AccessMode.READ)]
+        assert not router.is_distributed(local)
+        assert router.is_distributed(spread)
+
+    def test_route_query_read_vs_write(self, pmap):
+        router = QueryRouter(pmap)
+        read = router.route_query(Query("t", 6, AccessMode.READ))
+        write = router.route_query(Query("t", 6, AccessMode.WRITE))
+        assert read == (pmap.primary_of(6),)
+        assert write == pmap.replicas_of(6)

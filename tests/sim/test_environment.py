@@ -1,0 +1,117 @@
+"""Tests for the environment's clock and scheduling semantics."""
+
+import pytest
+
+from repro.sim import EmptySchedule, Environment
+
+
+class TestClock:
+    def test_starts_at_zero(self, env):
+        assert env.now == 0.0
+
+    def test_custom_initial_time(self):
+        env = Environment(initial_time=100.0)
+        assert env.now == 100.0
+
+    def test_run_until_time_advances_clock(self, env):
+        env.run(until=42.0)
+        assert env.now == 42.0
+
+    def test_run_backwards_rejected(self, env):
+        env.run(until=10)
+        with pytest.raises(ValueError):
+            env.run(until=5)
+
+    def test_schedule_into_past_rejected(self, env):
+        env.run(until=10)
+        with pytest.raises(ValueError):
+            env._schedule_at(5, env.event())
+
+
+class TestRun:
+    def test_run_until_event_returns_value(self, env):
+        def proc():
+            yield env.timeout(3)
+            return "result"
+
+        assert env.run(until=env.process(proc())) == "result"
+        assert env.now == 3.0
+
+    def test_run_until_failed_event_raises(self, env):
+        def proc():
+            yield env.timeout(1)
+            raise KeyError("whoops")
+
+        with pytest.raises(KeyError):
+            env.run(until=env.process(proc()))
+
+    def test_run_until_unreachable_event_raises(self, env):
+        never = env.event()
+        with pytest.raises(RuntimeError, match="ran out of events"):
+            env.run(until=never)
+
+    def test_run_until_none_drains_everything(self, env):
+        count = []
+
+        def proc(n):
+            yield env.timeout(n)
+            count.append(n)
+
+        for n in range(5):
+            env.process(proc(n))
+        env.run()
+        assert sorted(count) == [0, 1, 2, 3, 4]
+
+    def test_run_until_time_excludes_later_events(self, env):
+        fired = []
+
+        def proc():
+            yield env.timeout(10)
+            fired.append("late")
+
+        env.process(proc())
+        env.run(until=5)
+        assert fired == []
+        env.run(until=15)
+        assert fired == ["late"]
+
+
+class TestOrdering:
+    def test_same_time_events_fire_in_schedule_order(self, env):
+        order = []
+
+        def proc(name):
+            yield env.timeout(5)
+            order.append(name)
+
+        for name in ("first", "second", "third"):
+            env.process(proc(name))
+        env.run()
+        assert order == ["first", "second", "third"]
+
+    def test_determinism_across_runs(self):
+        def simulate():
+            env = Environment()
+            log = []
+
+            def proc(name, delay):
+                yield env.timeout(delay)
+                log.append((env.now, name))
+
+            for i in range(10):
+                env.process(proc(f"p{i}", (i * 7) % 5))
+            env.run()
+            return log
+
+        assert simulate() == simulate()
+
+
+class TestStep:
+    def test_step_on_empty_schedule_raises(self, env):
+        with pytest.raises(EmptySchedule):
+            env.step()
+
+    def test_peek_reports_next_event_time(self, env):
+        assert env.peek() == float("inf")
+        env.timeout(7)
+        assert env.peek() == 7.0

@@ -1,0 +1,313 @@
+"""Tests for the event primitives of the simulation kernel."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Environment, Event, Interrupt, Timeout
+
+
+class TestEvent:
+    def test_starts_pending(self, env):
+        event = env.event()
+        assert not event.triggered
+        assert not event.ok
+        assert not event.failed
+
+    def test_succeed_carries_value(self, env):
+        event = env.event()
+        event.succeed(42)
+        assert event.triggered
+        assert event.ok
+        assert event.value == 42
+
+    def test_fail_carries_exception(self, env):
+        event = env.event()
+        error = ValueError("boom")
+        event.fail(error)
+        assert event.failed
+        assert event.value is error
+
+    def test_double_succeed_rejected(self, env):
+        event = env.event()
+        event.succeed()
+        with pytest.raises(RuntimeError):
+            event.succeed()
+
+    def test_fail_after_succeed_rejected(self, env):
+        event = env.event()
+        event.succeed()
+        with pytest.raises(RuntimeError):
+            event.fail(ValueError())
+
+    def test_fail_requires_exception_instance(self, env):
+        event = env.event()
+        with pytest.raises(TypeError):
+            event.fail("not an exception")
+
+    def test_unhandled_failure_escalates(self, env):
+        event = env.event()
+        event.fail(ValueError("nobody caught me"))
+        with pytest.raises(ValueError, match="nobody caught me"):
+            env.run()
+
+    def test_defused_failure_does_not_escalate(self, env):
+        event = env.event()
+        event.fail(ValueError())
+        event.defused = True
+        env.run()  # no exception
+
+
+class TestTimeout:
+    def test_fires_after_delay(self, env):
+        fired = []
+
+        def proc():
+            yield env.timeout(5.5)
+            fired.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert fired == [5.5]
+
+    def test_zero_delay_fires_now(self, env):
+        fired = []
+
+        def proc():
+            yield env.timeout(0)
+            fired.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert fired == [0.0]
+
+    def test_negative_delay_rejected(self, env):
+        with pytest.raises(ValueError):
+            env.timeout(-1)
+
+    def test_carries_value(self, env):
+        got = []
+
+        def proc():
+            value = yield env.timeout(1, value="payload")
+            got.append(value)
+
+        env.process(proc())
+        env.run()
+        assert got == ["payload"]
+
+    def test_cannot_be_succeeded_manually(self, env):
+        timeout = env.timeout(1)
+        with pytest.raises(RuntimeError):
+            timeout.succeed()
+
+
+class TestProcess:
+    def test_return_value_becomes_event_value(self, env):
+        def child():
+            yield env.timeout(1)
+            return "done"
+
+        results = []
+
+        def parent():
+            value = yield env.process(child())
+            results.append(value)
+
+        env.process(parent())
+        env.run()
+        assert results == ["done"]
+
+    def test_exception_propagates_to_waiter(self, env):
+        def child():
+            yield env.timeout(1)
+            raise RuntimeError("child failed")
+
+        caught = []
+
+        def parent():
+            try:
+                yield env.process(child())
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        env.process(parent())
+        env.run()
+        assert caught == ["child failed"]
+
+    def test_uncaught_child_exception_escalates(self, env):
+        def child():
+            yield env.timeout(1)
+            raise RuntimeError("unwatched")
+
+        env.process(child())
+        with pytest.raises(RuntimeError, match="unwatched"):
+            env.run()
+
+    def test_yielding_non_event_fails_process(self, env):
+        def bad():
+            yield "not an event"
+
+        process = env.process(bad())
+        with pytest.raises(TypeError):
+            env.run()
+        assert process.failed
+
+    def test_requires_generator(self, env):
+        with pytest.raises(TypeError):
+            env.process(lambda: None)
+
+    def test_is_alive_until_finished(self, env):
+        def proc():
+            yield env.timeout(5)
+
+        process = env.process(proc())
+        assert process.is_alive
+        env.run()
+        assert not process.is_alive
+
+    def test_sequential_timeouts_accumulate(self, env):
+        times = []
+
+        def proc():
+            yield env.timeout(1)
+            times.append(env.now)
+            yield env.timeout(2)
+            times.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert times == [1.0, 3.0]
+
+
+class TestInterrupt:
+    def test_interrupt_delivers_cause(self, env):
+        out = []
+
+        def sleeper():
+            try:
+                yield env.timeout(100)
+            except Interrupt as interrupt:
+                out.append((env.now, interrupt.cause))
+
+        target = env.process(sleeper())
+
+        def killer():
+            yield env.timeout(3)
+            target.interrupt("stop now")
+
+        env.process(killer())
+        env.run()
+        assert out == [(3.0, "stop now")]
+
+    def test_interrupted_process_can_continue(self, env):
+        out = []
+
+        def sleeper():
+            try:
+                yield env.timeout(100)
+            except Interrupt:
+                pass
+            yield env.timeout(1)
+            out.append(env.now)
+
+        target = env.process(sleeper())
+
+        def killer():
+            yield env.timeout(2)
+            target.interrupt()
+
+        env.process(killer())
+        env.run()
+        assert out == [3.0]
+
+    def test_interrupt_finished_process_rejected(self, env):
+        def quick():
+            yield env.timeout(1)
+
+        process = env.process(quick())
+        env.run()
+        with pytest.raises(RuntimeError):
+            process.interrupt()
+
+    def test_cause_none_by_default(self):
+        interrupt = Interrupt()
+        assert interrupt.cause is None
+
+
+class TestConditions:
+    def test_all_of_waits_for_every_event(self, env):
+        def worker(delay, name):
+            yield env.timeout(delay)
+            return name
+
+        out = []
+
+        def waiter():
+            p1 = env.process(worker(2, "a"))
+            p2 = env.process(worker(5, "b"))
+            results = yield env.all_of([p1, p2])
+            out.append((env.now, sorted(results.values())))
+
+        env.process(waiter())
+        env.run()
+        assert out == [(5.0, ["a", "b"])]
+
+    def test_any_of_fires_on_first(self, env):
+        out = []
+
+        def waiter():
+            t1 = env.timeout(2, value="fast")
+            t2 = env.timeout(9, value="slow")
+            results = yield env.any_of([t1, t2])
+            out.append((env.now, list(results.values())))
+
+        env.process(waiter())
+        env.run(until=20)
+        assert out == [(2.0, ["fast"])]
+
+    def test_empty_all_of_succeeds_immediately(self, env):
+        condition = env.all_of([])
+        assert condition.triggered
+
+    def test_child_failure_fails_condition(self, env):
+        caught = []
+
+        def failer():
+            yield env.timeout(1)
+            raise ValueError("inner")
+
+        def waiter():
+            try:
+                yield env.all_of([env.process(failer()), env.timeout(10)])
+            except ValueError as exc:
+                caught.append(str(exc))
+
+        env.process(waiter())
+        env.run()
+        assert caught == ["inner"]
+
+    def test_late_child_failure_is_defused(self, env):
+        """A child failing after the condition triggered must not crash."""
+        lock_event = env.event()
+
+        def waiter():
+            yield env.any_of([lock_event, env.timeout(1)])
+
+        def late_failer():
+            yield env.timeout(5)
+            lock_event.fail(RuntimeError("late"))
+
+        env.process(waiter())
+        env.process(late_failer())
+        env.run()  # should not raise
+
+    def test_mixed_environment_rejected(self, env):
+        other = Environment()
+        with pytest.raises(ValueError):
+            AllOf(env, [env.event(), other.event()])
+
+    def test_any_of_with_already_triggered_child(self, env):
+        done = env.event()
+        done.succeed("early")
+        condition = env.any_of([done, env.timeout(100)])
+        assert condition.triggered
+        assert list(condition.value.values()) == ["early"]

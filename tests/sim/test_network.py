@@ -1,0 +1,78 @@
+"""Tests for the network latency/bandwidth model."""
+
+import pytest
+
+from repro.sim import Network
+
+
+class TestDelays:
+    def test_delay_has_latency_floor(self, env):
+        network = Network(env, latency_s=0.01, bandwidth_bytes_per_s=1e6)
+        assert network.delay_for(0) == pytest.approx(0.01)
+
+    def test_delay_scales_with_payload(self, env):
+        network = Network(env, latency_s=0.0, bandwidth_bytes_per_s=100.0)
+        assert network.delay_for(200) == pytest.approx(2.0)
+
+    def test_negative_payload_rejected(self, env):
+        network = Network(env)
+        with pytest.raises(ValueError):
+            network.delay_for(-1)
+
+    def test_invalid_parameters_rejected(self, env):
+        with pytest.raises(ValueError):
+            Network(env, latency_s=-1)
+        with pytest.raises(ValueError):
+            Network(env, bandwidth_bytes_per_s=0)
+
+
+class TestTransfer:
+    def test_transfer_takes_delay_time(self, env):
+        network = Network(env, latency_s=1.0, bandwidth_bytes_per_s=1e9)
+        done = []
+
+        def proc():
+            yield from network.transfer(0, 1, payload_bytes=0)
+            done.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert done == [1.0]
+
+    def test_local_transfer_is_free(self, env):
+        network = Network(env, latency_s=1.0)
+        done = []
+
+        def proc():
+            yield from network.transfer(3, 3, payload_bytes=100)
+            done.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert done == [0.0]
+        assert network.messages_sent == 0
+
+    def test_counters_track_traffic(self, env):
+        network = Network(env, latency_s=0.001)
+
+        def proc():
+            yield from network.transfer(0, 1, payload_bytes=64)
+            yield from network.transfer(1, 2, payload_bytes=32)
+
+        env.process(proc())
+        env.run()
+        assert network.messages_sent == 2
+        assert network.bytes_sent == 96
+
+    def test_round_trip_is_two_messages(self, env):
+        network = Network(env, latency_s=0.5, bandwidth_bytes_per_s=1e9)
+        done = []
+
+        def proc():
+            yield from network.round_trip(0, 1)
+            done.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert done == [1.0]
+        assert network.messages_sent == 2

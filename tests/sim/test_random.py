@@ -1,0 +1,138 @@
+"""Tests for the seeded random streams, Zipf sampling, and Poisson draws."""
+
+import math
+import random
+
+import pytest
+
+from repro.sim import RandomStreams, ZipfSampler, derive_seed, poisson, weighted_choice
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a") == derive_seed(1, "a")
+
+    def test_name_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_seed_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+
+class TestRandomStreams:
+    def test_same_name_returns_same_stream(self):
+        streams = RandomStreams(7)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_streams_are_independent(self):
+        """Consuming one stream must not perturb another."""
+        streams_a = RandomStreams(7)
+        streams_b = RandomStreams(7)
+        # Consume heavily from one stream in A only.
+        for _ in range(1000):
+            streams_a.stream("noise").random()
+        seq_a = [streams_a.stream("target").random() for _ in range(5)]
+        seq_b = [streams_b.stream("target").random() for _ in range(5)]
+        assert seq_a == seq_b
+
+    def test_spawn_creates_distinct_master(self):
+        streams = RandomStreams(7)
+        child = streams.spawn("worker")
+        assert child.master_seed != streams.master_seed
+        assert (
+            child.stream("x").random() != streams.stream("x").random()
+        )
+
+
+class TestZipfSampler:
+    def test_probabilities_sum_to_one(self):
+        sampler = ZipfSampler(100, 1.16, random.Random(0))
+        assert math.fsum(sampler.probabilities) == pytest.approx(1.0)
+
+    def test_probabilities_decrease_with_rank(self):
+        sampler = ZipfSampler(50, 1.16, random.Random(0))
+        for earlier, later in zip(
+            sampler.probabilities, sampler.probabilities[1:]
+        ):
+            assert earlier > later
+
+    def test_zero_skew_is_uniform(self):
+        sampler = ZipfSampler(10, 0.0, random.Random(0))
+        for p in sampler.probabilities:
+            assert p == pytest.approx(0.1)
+
+    def test_top_mass_follows_80_20_for_paper_skew(self):
+        """s=1.16 over the paper's population approximates the 80-20 rule."""
+        sampler = ZipfSampler(23_457, 1.16, random.Random(0))
+        top_20_percent = sampler.top_mass(int(0.2 * 23_457))
+        assert top_20_percent >= 0.8  # at least the 80-20 rule
+        assert top_20_percent < 1.0
+
+    def test_samples_in_range(self):
+        sampler = ZipfSampler(20, 1.0, random.Random(1))
+        for _ in range(500):
+            assert 0 <= sampler.sample() < 20
+
+    def test_hot_rank_sampled_most(self):
+        sampler = ZipfSampler(10, 1.5, random.Random(2))
+        counts = [0] * 10
+        for _ in range(5000):
+            counts[sampler.sample()] += 1
+        assert counts[0] == max(counts)
+
+    def test_empirical_matches_analytic(self):
+        sampler = ZipfSampler(5, 1.0, random.Random(3))
+        counts = [0] * 5
+        n = 20_000
+        for _ in range(n):
+            counts[sampler.sample()] += 1
+        for rank in range(5):
+            assert counts[rank] / n == pytest.approx(
+                sampler.probabilities[rank], abs=0.02
+            )
+
+    def test_invalid_population_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0, 1.0, random.Random(0))
+
+    def test_negative_skew_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(10, -0.5, random.Random(0))
+
+    def test_top_mass_edges(self):
+        sampler = ZipfSampler(10, 1.0, random.Random(0))
+        assert sampler.top_mass(0) == 0.0
+        assert sampler.top_mass(10) == pytest.approx(1.0)
+        assert sampler.top_mass(99) == pytest.approx(1.0)
+
+
+class TestPoisson:
+    def test_zero_mean_is_zero(self):
+        assert poisson(random.Random(0), 0) == 0
+
+    def test_negative_mean_rejected(self):
+        with pytest.raises(ValueError):
+            poisson(random.Random(0), -1)
+
+    @pytest.mark.parametrize("mean", [0.5, 3.0, 20.0, 100.0])
+    def test_empirical_mean_close(self, mean):
+        rng = random.Random(42)
+        n = 3000
+        total = sum(poisson(rng, mean) for _ in range(n))
+        assert total / n == pytest.approx(mean, rel=0.1)
+
+    def test_large_mean_uses_normal_approximation(self):
+        rng = random.Random(0)
+        draw = poisson(rng, 10_000)
+        assert 9_000 < draw < 11_000
+
+
+class TestWeightedChoice:
+    def test_respects_cumulative_boundaries(self):
+        rng = random.Random(5)
+        cumulative = [0.1, 0.2, 1.0]
+        counts = [0, 0, 0]
+        for _ in range(10_000):
+            counts[weighted_choice(rng, cumulative)] += 1
+        assert counts[2] > counts[0]
+        assert counts[0] / 10_000 == pytest.approx(0.1, abs=0.02)

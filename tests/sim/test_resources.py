@@ -1,0 +1,136 @@
+"""Tests for Resource and WorkServer."""
+
+import pytest
+
+from repro.sim import Resource, WorkServer
+
+
+class TestResource:
+    def test_grants_up_to_capacity(self, env):
+        resource = Resource(env, capacity=2)
+        first = resource.request()
+        second = resource.request()
+        third = resource.request()
+        assert first.triggered and second.triggered
+        assert not third.triggered
+        assert resource.in_use == 2
+        assert resource.queue_length == 1
+
+    def test_release_grants_next_in_fifo_order(self, env):
+        resource = Resource(env, capacity=1)
+        held = resource.request()
+        queued = [resource.request() for _ in range(3)]
+        resource.release(held)
+        assert queued[0].triggered
+        assert not queued[1].triggered
+        resource.release(queued[0])
+        assert queued[1].triggered
+
+    def test_release_waiting_request_removes_it(self, env):
+        resource = Resource(env, capacity=1)
+        held = resource.request()
+        waiting = resource.request()
+        resource.release(waiting)  # withdraw before grant
+        assert resource.queue_length == 0
+        resource.release(held)
+        assert resource.in_use == 0
+
+    def test_capacity_must_be_positive(self, env):
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+    def test_cancel_is_alias_for_release(self, env):
+        resource = Resource(env, capacity=1)
+        request = resource.request()
+        resource.cancel(request)
+        assert resource.in_use == 0
+
+
+class TestWorkServer:
+    def test_service_time_scales_with_rate(self, env):
+        server = WorkServer(env, rate=4.0)
+        assert server.service_time(8.0) == 2.0
+
+    def test_jobs_serialise_on_single_slot(self, env):
+        server = WorkServer(env, rate=10.0, concurrency=1)
+        finish_times = []
+
+        def job():
+            yield from server.work(10)
+            finish_times.append(env.now)
+
+        for _ in range(3):
+            env.process(job())
+        env.run()
+        assert finish_times == [1.0, 2.0, 3.0]
+
+    def test_concurrency_allows_parallel_service(self, env):
+        server = WorkServer(env, rate=10.0, concurrency=3)
+        finish_times = []
+
+        def job():
+            yield from server.work(10)
+            finish_times.append(env.now)
+
+        for _ in range(3):
+            env.process(job())
+        env.run()
+        assert finish_times == [1.0, 1.0, 1.0]
+
+    def test_utilisation_tracks_busy_time(self, env):
+        server = WorkServer(env, rate=10.0)
+
+        def job():
+            yield from server.work(10)
+
+        env.process(job())
+        env.run(until=2.0)
+        assert server.utilisation() == pytest.approx(0.5)
+
+    def test_negative_work_rejected(self, env):
+        server = WorkServer(env, rate=1.0)
+        with pytest.raises(ValueError):
+            server.service_time(-1)
+
+    def test_rate_must_be_positive(self, env):
+        with pytest.raises(ValueError):
+            WorkServer(env, rate=0)
+
+    def test_queue_length_visible(self, env):
+        server = WorkServer(env, rate=1.0, concurrency=1)
+
+        def job():
+            yield from server.work(100)
+
+        for _ in range(4):
+            env.process(job())
+        env.run(until=1)
+        assert server.in_service == 1
+        assert server.queue_length == 3
+
+    def test_rate_change_affects_future_jobs(self, env):
+        server = WorkServer(env, rate=1.0)
+        finish_times = []
+
+        def job():
+            yield from server.work(10)
+            finish_times.append(env.now)
+
+        def speed_up():
+            yield env.timeout(10)  # after job 1 completes
+            server.rate = 10.0
+
+        env.process(job())
+        env.process(speed_up())
+        env.run()
+
+        env2_done = []
+
+        def job2():
+            yield from server.work(10)
+            env2_done.append(env.now)
+
+        env.process(job2())
+        env.run()
+        assert finish_times == [10.0]
+        assert env2_done == [11.0]

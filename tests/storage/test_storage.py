@@ -1,0 +1,140 @@
+"""Tests for records, partition stores, and the catalog."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import (
+    DEFAULT_TUPLE_SIZE_BYTES,
+    Catalog,
+    PartitionStore,
+    Record,
+    TableSchema,
+)
+
+
+class TestRecord:
+    def test_defaults_match_paper(self):
+        record = Record(key=1)
+        assert record.size_bytes == DEFAULT_TUPLE_SIZE_BYTES == 8
+        assert record.version == 0
+
+    def test_write_bumps_version(self):
+        record = Record(key=1, value=10)
+        record.write(20)
+        assert record.value == 20
+        assert record.version == 1
+
+    def test_copy_is_independent(self):
+        record = Record(key=1, value=10)
+        clone = record.copy()
+        clone.write(99)
+        assert record.value == 10
+        assert clone.value == 99
+
+    def test_copy_preserves_version(self):
+        record = Record(key=1)
+        record.write(5)
+        assert record.copy().version == 1
+
+
+class TestPartitionStore:
+    def test_insert_and_get(self):
+        store = PartitionStore(0)
+        store.insert(Record(key=7, value=3))
+        assert store.get(7).value == 3
+        assert 7 in store
+        assert len(store) == 1
+
+    def test_get_missing_raises(self):
+        store = PartitionStore(0)
+        with pytest.raises(StorageError, match="not resident"):
+            store.get(99)
+
+    def test_peek_missing_returns_none(self):
+        store = PartitionStore(0)
+        assert store.peek(99) is None
+
+    def test_duplicate_insert_raises(self):
+        store = PartitionStore(0)
+        store.insert(Record(key=1))
+        with pytest.raises(StorageError, match="already resident"):
+            store.insert(Record(key=1))
+
+    def test_upsert_overwrites(self):
+        store = PartitionStore(0)
+        store.insert(Record(key=1, value=10))
+        store.upsert(Record(key=1, value=20))
+        assert store.get(1).value == 20
+        assert store.inserts == 1  # upsert of existing is not an insert
+
+    def test_delete_returns_record(self):
+        store = PartitionStore(0)
+        store.insert(Record(key=1, value=5))
+        record = store.delete(1)
+        assert record.value == 5
+        assert 1 not in store
+
+    def test_delete_missing_raises(self):
+        store = PartitionStore(0)
+        with pytest.raises(StorageError, match="cannot delete"):
+            store.delete(1)
+
+    def test_counters(self):
+        store = PartitionStore(0)
+        store.insert(Record(key=1))
+        store.insert(Record(key=2))
+        store.delete(1)
+        assert store.inserts == 2
+        assert store.deletes == 1
+
+    def test_read_write_helpers(self):
+        store = PartitionStore(0)
+        store.insert(Record(key=1, value=10))
+        assert store.read(1) == 10
+        store.write(1, 42)
+        assert store.read(1) == 42
+        assert store.get(1).version == 1
+
+    def test_keys_iterates_residents(self):
+        store = PartitionStore(0)
+        for key in (3, 1, 2):
+            store.insert(Record(key=key))
+        assert sorted(store.keys()) == [1, 2, 3]
+
+
+class TestCatalog:
+    def test_register_and_lookup(self):
+        catalog = Catalog()
+        schema = TableSchema(name="accounts", tuple_count=100)
+        catalog.add_table(schema)
+        assert catalog.table("accounts") is schema
+        assert "accounts" in catalog
+
+    def test_duplicate_table_rejected(self):
+        catalog = Catalog()
+        catalog.add_table(TableSchema(name="t", tuple_count=1))
+        with pytest.raises(StorageError, match="already registered"):
+            catalog.add_table(TableSchema(name="t", tuple_count=2))
+
+    def test_unknown_table_raises(self):
+        with pytest.raises(StorageError, match="unknown table"):
+            Catalog().table("ghost")
+
+    def test_schema_validation(self):
+        with pytest.raises(StorageError):
+            TableSchema(name="bad", tuple_count=-1)
+        with pytest.raises(StorageError):
+            TableSchema(name="bad", tuple_count=1, tuple_size_bytes=0)
+
+    def test_contains_key(self):
+        schema = TableSchema(name="t", tuple_count=10)
+        assert schema.contains_key(0)
+        assert schema.contains_key(9)
+        assert not schema.contains_key(10)
+        assert not schema.contains_key(-1)
+
+    def test_tables_in_registration_order(self):
+        catalog = Catalog()
+        catalog.add_table(TableSchema(name="b", tuple_count=1))
+        catalog.add_table(TableSchema(name="a", tuple_count=1))
+        assert [t.name for t in catalog.tables()] == ["b", "a"]

@@ -1,0 +1,176 @@
+"""Tests for write-ahead logging and redo recovery."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import PartitionStore, Record
+from repro.storage.wal import (
+    WalRecordType,
+    WriteAheadLog,
+    recover,
+)
+
+
+@pytest.fixture
+def wal():
+    return WriteAheadLog(partition_id=0)
+
+
+def committed_txn(wal, txn_id, *actions):
+    wal.log_begin(txn_id)
+    for action in actions:
+        action(txn_id)
+    wal.log_commit(txn_id)
+
+
+class TestAppending:
+    def test_lsns_increase(self, wal):
+        a = wal.log_begin(1)
+        b = wal.log_write(1, 5, 10)
+        c = wal.log_commit(1)
+        assert a.lsn < b.lsn < c.lsn
+        assert wal.last_lsn == c.lsn
+
+    def test_double_begin_rejected(self, wal):
+        wal.log_begin(1)
+        with pytest.raises(StorageError):
+            wal.log_begin(1)
+
+    def test_mutation_without_begin_rejected(self, wal):
+        with pytest.raises(StorageError):
+            wal.log_write(9, 1, 2)
+        with pytest.raises(StorageError):
+            wal.log_commit(9)
+
+    def test_begin_reusable_after_commit(self, wal):
+        wal.log_begin(1)
+        wal.log_commit(1)
+        wal.log_begin(1)  # a retried transaction logs a fresh BEGIN
+        wal.log_abort(1)
+        assert len(wal) == 4
+
+    def test_empty_log_last_lsn_zero(self, wal):
+        assert wal.last_lsn == 0
+
+
+class TestRecovery:
+    def test_committed_effects_survive(self, wal):
+        committed_txn(
+            wal, 1,
+            lambda t: wal.log_insert(t, Record(key=5, value=50)),
+            lambda t: wal.log_write(t, 5, 55),
+        )
+        store = recover(wal)
+        assert store.read(5) == 55
+
+    def test_uncommitted_effects_discarded(self, wal):
+        wal.log_begin(1)
+        wal.log_insert(1, Record(key=5, value=50))
+        # crash: no COMMIT record
+        store = recover(wal)
+        assert 5 not in store
+
+    def test_aborted_effects_discarded(self, wal):
+        wal.log_begin(1)
+        wal.log_insert(1, Record(key=5, value=50))
+        wal.log_abort(1)
+        store = recover(wal)
+        assert 5 not in store
+
+    def test_delete_applied_for_committed(self, wal):
+        committed_txn(
+            wal, 1, lambda t: wal.log_insert(t, Record(key=5, value=50))
+        )
+        committed_txn(wal, 2, lambda t: wal.log_delete(t, 5))
+        store = recover(wal)
+        assert 5 not in store
+
+    def test_interleaved_transactions(self, wal):
+        wal.log_begin(1)
+        wal.log_begin(2)
+        wal.log_insert(1, Record(key=1, value=10))
+        wal.log_insert(2, Record(key=2, value=20))
+        wal.log_commit(1)
+        wal.log_abort(2)
+        store = recover(wal)
+        assert store.read(1) == 10
+        assert 2 not in store
+
+    def test_lsn_order_respected(self, wal):
+        committed_txn(
+            wal, 1,
+            lambda t: wal.log_insert(t, Record(key=1, value=1)),
+            lambda t: wal.log_write(t, 1, 2),
+            lambda t: wal.log_write(t, 1, 3),
+        )
+        assert recover(wal).read(1) == 3
+
+    def test_recovery_matches_live_store(self, wal):
+        """Shadow a sequence of live mutations and compare."""
+        live = PartitionStore(0)
+        for txn_id in range(1, 6):
+            key = txn_id
+            wal.log_begin(txn_id)
+            record = Record(key=key, value=key * 10)
+            wal.log_insert(txn_id, record)
+            live.insert(record.copy())
+            if txn_id % 2 == 0:
+                wal.log_write(txn_id, key, key * 100)
+                live.get(key).write(key * 100)
+            wal.log_commit(txn_id)
+        recovered = recover(wal)
+        for key in live.keys():
+            assert recovered.read(key) == live.read(key)
+
+
+class TestCheckpointing:
+    def make_store(self):
+        store = PartitionStore(0)
+        store.insert(Record(key=1, value=10))
+        store.insert(Record(key=2, value=20))
+        return store
+
+    def test_recovery_starts_from_checkpoint(self, wal):
+        wal.log_checkpoint(self.make_store())
+        store = recover(wal)
+        assert store.read(1) == 10
+        assert store.read(2) == 20
+
+    def test_tail_applies_over_checkpoint(self, wal):
+        wal.log_checkpoint(self.make_store())
+        committed_txn(wal, 7, lambda t: wal.log_write(t, 1, 111))
+        store = recover(wal)
+        assert store.read(1) == 111
+        assert store.read(2) == 20
+
+    def test_pre_checkpoint_records_ignored(self, wal):
+        wal.log_begin(1)
+        wal.log_insert(1, Record(key=9, value=9))
+        wal.log_commit(1)
+        # Checkpoint taken from a store that never saw key 9.
+        wal.log_checkpoint(self.make_store())
+        store = recover(wal)
+        assert 9 not in store
+
+    def test_truncate_drops_old_records(self, wal):
+        committed_txn(
+            wal, 1, lambda t: wal.log_insert(t, Record(key=9, value=9))
+        )
+        wal.log_checkpoint(self.make_store())
+        size_before = len(wal)
+        dropped = wal.truncate_before_checkpoint()
+        assert dropped == size_before - 1
+        assert recover(wal).read(1) == 10
+
+    def test_truncate_without_checkpoint_is_noop(self, wal):
+        committed_txn(
+            wal, 1, lambda t: wal.log_insert(t, Record(key=9, value=9))
+        )
+        assert wal.truncate_before_checkpoint() == 0
+        assert recover(wal).read(9) == 9
+
+    def test_record_types_enumerated(self):
+        assert {t.value for t in WalRecordType} == {
+            "begin", "write", "insert", "delete", "commit", "abort",
+            "checkpoint",
+        }

@@ -1,0 +1,118 @@
+"""Shared fixtures: a small assembled cluster + transaction stack."""
+
+import random
+from dataclasses import dataclass
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.metrics import MetricsCollector
+from repro.partitioning import CostModel
+from repro.routing import PartitionMap, Query, QueryRouter
+from repro.sim import Environment
+from repro.storage import Record
+from repro.txn import (
+    ExecutorConfig,
+    TransactionExecutor,
+    TransactionManager,
+    TransactionManagerConfig,
+    TwoPhaseCommitCoordinator,
+)
+from repro.types import AccessMode
+
+
+@dataclass
+class Stack:
+    """A fully wired miniature system for transaction-level tests."""
+
+    env: Environment
+    cluster: Cluster
+    pmap: PartitionMap
+    router: QueryRouter
+    cost_model: CostModel
+    executor: TransactionExecutor
+    tm: TransactionManager
+    metrics: MetricsCollector
+
+    def read(self, key):
+        return Query("t", key, AccessMode.READ)
+
+    def write(self, key, value=1):
+        return Query("t", key, AccessMode.WRITE, value=value)
+
+    def run_txn(self, txn, priority=None):
+        """Submit and run to completion; returns the transaction."""
+        self.tm.submit(txn, priority)
+        self.env.run(until=self.env.now + 1000)
+        return txn
+
+
+def build_stack(
+    node_count=3,
+    keys=30,
+    capacity=100.0,
+    lock_timeout_s=5.0,
+    rep_op_failure_probability=0.0,
+    queue_timeout_s=None,
+    max_concurrent=50,
+    max_attempts=1,
+    vote_no_probability=0.0,
+):
+    env = Environment()
+    cluster = Cluster(
+        env,
+        ClusterConfig(node_count=node_count, capacity_units_per_s=capacity),
+    )
+    pmap = PartitionMap()
+    for key in range(keys):
+        pid = key % node_count
+        pmap.assign(key, pid)
+        cluster.node_for_partition(pid).store.insert(
+            Record(key=key, value=key * 10)
+        )
+    router = QueryRouter(pmap)
+    cost_model = CostModel(base_cost=1.0, rep_op_cost=0.5)
+    rng = random.Random(0)
+    twopc = TwoPhaseCommitCoordinator(
+        env,
+        cluster.network,
+        rng=rng if vote_no_probability > 0 else None,
+    )
+    if vote_no_probability > 0:
+        from repro.txn import TwoPhaseCommitConfig
+
+        twopc = TwoPhaseCommitCoordinator(
+            env,
+            cluster.network,
+            TwoPhaseCommitConfig(vote_no_probability=vote_no_probability),
+            rng=rng,
+        )
+    executor = TransactionExecutor(
+        env,
+        cluster,
+        router,
+        cost_model,
+        twopc,
+        ExecutorConfig(
+            lock_timeout_s=lock_timeout_s,
+            rep_op_failure_probability=rep_op_failure_probability,
+        ),
+        rng=rng,
+    )
+    metrics = MetricsCollector(env, interval_s=20.0)
+    tm = TransactionManager(
+        env,
+        executor,
+        metrics,
+        TransactionManagerConfig(
+            max_concurrent=max_concurrent,
+            max_attempts=max_attempts,
+            queue_timeout_s=queue_timeout_s,
+        ),
+    )
+    return Stack(env, cluster, pmap, router, cost_model, executor, tm, metrics)
+
+
+@pytest.fixture
+def stack():
+    return build_stack()

@@ -1,0 +1,179 @@
+"""Tests for transaction objects and the priority processing queue."""
+
+import pytest
+
+from repro.partitioning import Migrate
+from repro.routing import Query
+from repro.txn import ProcessingQueue, Transaction
+from repro.types import AccessMode, Priority, TxnKind
+
+
+def normal_txn(txn_id, priority=Priority.NORMAL):
+    return Transaction(
+        txn_id=txn_id,
+        kind=TxnKind.NORMAL,
+        queries=[Query("t", txn_id, AccessMode.READ)],
+        priority=priority,
+    )
+
+
+def rep_txn(txn_id):
+    return Transaction(
+        txn_id=txn_id,
+        kind=TxnKind.REPARTITION,
+        rep_ops=[Migrate(op_id=0, key=1, source=0, destination=1)],
+    )
+
+
+class TestTransactionValidation:
+    def test_repartition_with_queries_rejected(self):
+        with pytest.raises(ValueError):
+            Transaction(
+                txn_id=1,
+                kind=TxnKind.REPARTITION,
+                queries=[Query("t", 1, AccessMode.READ)],
+                rep_ops=[Migrate(op_id=0, key=1, source=0, destination=1)],
+            )
+
+    def test_repartition_without_ops_rejected(self):
+        with pytest.raises(ValueError):
+            Transaction(txn_id=1, kind=TxnKind.REPARTITION)
+
+    def test_kind_predicates(self):
+        assert normal_txn(1).is_normal
+        assert rep_txn(2).is_repartition
+        assert not rep_txn(2).is_normal
+
+
+class TestPiggybackAttachment:
+    def test_attach_marks_carrier(self):
+        txn = normal_txn(1)
+        ops = [Migrate(op_id=0, key=5, source=0, destination=1)]
+        txn.attach_rep_ops(99, ops)
+        assert txn.is_piggybacked
+        assert txn.carrying_rep_txn == 99
+        assert txn.rep_ops == ops
+
+    def test_double_attach_rejected(self):
+        txn = normal_txn(1)
+        ops = [Migrate(op_id=0, key=5, source=0, destination=1)]
+        txn.attach_rep_ops(99, ops)
+        with pytest.raises(ValueError, match="already carries"):
+            txn.attach_rep_ops(100, ops)
+
+    def test_attach_to_repartition_rejected(self):
+        with pytest.raises(ValueError):
+            rep_txn(1).attach_rep_ops(2, [])
+
+    def test_strip_returns_ops_and_clears(self):
+        txn = normal_txn(1)
+        ops = [Migrate(op_id=0, key=5, source=0, destination=1)]
+        txn.attach_rep_ops(99, ops)
+        stripped = txn.strip_rep_ops()
+        assert stripped == ops
+        assert not txn.is_piggybacked
+        assert txn.carrying_rep_txn is None
+
+
+class TestLatency:
+    def test_latency_requires_both_stamps(self):
+        txn = normal_txn(1)
+        assert txn.latency is None
+        txn.first_submitted_at = 10.0
+        txn.finished_at = 14.5
+        assert txn.latency == pytest.approx(4.5)
+
+
+class TestProcessingQueue:
+    def test_priority_order(self, env):
+        queue = ProcessingQueue(env)
+        queue.put(normal_txn(1, Priority.LOW))
+        queue.put(normal_txn(2, Priority.HIGH))
+        queue.put(normal_txn(3, Priority.NORMAL))
+        assert queue.pop().txn_id == 2
+        assert queue.pop().txn_id == 3
+        assert queue.pop().txn_id == 1
+
+    def test_fifo_within_priority(self, env):
+        queue = ProcessingQueue(env)
+        for txn_id in (5, 6, 7):
+            queue.put(normal_txn(txn_id))
+        assert [queue.pop().txn_id for _ in range(3)] == [5, 6, 7]
+
+    def test_pop_empty_returns_none(self, env):
+        assert ProcessingQueue(env).pop() is None
+
+    def test_duplicate_enqueue_rejected(self, env):
+        queue = ProcessingQueue(env)
+        txn = normal_txn(1)
+        queue.put(txn)
+        with pytest.raises(ValueError):
+            queue.put(txn)
+
+    def test_remove_makes_entry_invisible(self, env):
+        queue = ProcessingQueue(env)
+        queue.put(normal_txn(1))
+        queue.put(normal_txn(2))
+        removed = queue.remove(1)
+        assert removed.txn_id == 1
+        assert len(queue) == 1
+        assert queue.pop().txn_id == 2
+
+    def test_remove_missing_returns_none(self, env):
+        assert ProcessingQueue(env).remove(9) is None
+
+    def test_reprioritise_moves_level(self, env):
+        queue = ProcessingQueue(env)
+        queue.put(normal_txn(1, Priority.LOW))
+        queue.put(normal_txn(2, Priority.NORMAL))
+        assert queue.reprioritise(1, Priority.HIGH)
+        assert queue.pop().txn_id == 1
+
+    def test_reprioritise_missing_returns_false(self, env):
+        assert not ProcessingQueue(env).reprioritise(1, Priority.HIGH)
+
+    def test_peek_skips_stale_entries(self, env):
+        queue = ProcessingQueue(env)
+        queue.put(normal_txn(1, Priority.HIGH))
+        queue.put(normal_txn(2))
+        queue.remove(1)
+        assert queue.peek().txn_id == 2
+
+    def test_wait_nonempty_fires_on_put(self, env):
+        queue = ProcessingQueue(env)
+        fired = []
+
+        def waiter():
+            yield queue.wait_nonempty()
+            fired.append(env.now)
+
+        env.process(waiter())
+
+        def producer():
+            yield env.timeout(3)
+            queue.put(normal_txn(1))
+
+        env.process(producer())
+        env.run()
+        assert fired == [3.0]
+
+    def test_wait_nonempty_immediate_when_loaded(self, env):
+        queue = ProcessingQueue(env)
+        queue.put(normal_txn(1))
+        assert queue.wait_nonempty().triggered
+
+    def test_counts_by_priority(self, env):
+        queue = ProcessingQueue(env)
+        queue.put(normal_txn(1, Priority.LOW))
+        queue.put(normal_txn(2, Priority.LOW))
+        queue.put(normal_txn(3, Priority.HIGH))
+        counts = queue.counts_by_priority()
+        assert counts[Priority.LOW] == 2
+        assert counts[Priority.HIGH] == 1
+        assert counts[Priority.NORMAL] == 0
+
+    def test_waiting_normal_work_excludes_repartition(self, env):
+        queue = ProcessingQueue(env)
+        queue.put(normal_txn(1))
+        queue.put(rep_txn(2))
+        assert queue.waiting_normal_work() == 1

@@ -1,0 +1,105 @@
+"""Tests for the two-phase-commit coordinator."""
+
+import random
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.sim import Network
+from repro.txn import TwoPhaseCommitConfig, TwoPhaseCommitCoordinator
+
+
+@pytest.fixture
+def cluster(env):
+    return Cluster(env, ClusterConfig(node_count=3, capacity_units_per_s=10))
+
+
+def run_commit(env, coordinator, participants):
+    results = []
+
+    def proc():
+        outcome = yield env.process(coordinator.commit(-1, participants))
+        results.append((env.now, outcome))
+
+    env.process(proc())
+    env.run()
+    return results[0]
+
+
+class TestProtocol:
+    def test_single_participant_skips_protocol(self, env, cluster):
+        coordinator = TwoPhaseCommitCoordinator(env, cluster.network)
+        when, outcome = run_commit(env, coordinator, cluster.nodes[:1])
+        assert outcome.committed
+        assert when == 0.0  # one-phase commit: no messages
+        assert cluster.network.messages_sent == 0
+
+    def test_unanimous_yes_commits(self, env, cluster):
+        coordinator = TwoPhaseCommitCoordinator(env, cluster.network)
+        _when, outcome = run_commit(env, coordinator, cluster.nodes)
+        assert outcome.committed
+        assert outcome.no_votes == ()
+
+    def test_two_phases_cost_two_round_trips(self, env):
+        cluster = Cluster(
+            env,
+            ClusterConfig(
+                node_count=2,
+                capacity_units_per_s=10,
+                network_latency_s=0.1,
+                network_bandwidth_bytes_per_s=1e12,
+            ),
+        )
+        coordinator = TwoPhaseCommitCoordinator(env, cluster.network)
+        when, outcome = run_commit(env, coordinator, cluster.nodes)
+        assert outcome.committed
+        # prepare RTT (0.2) + decision RTT (0.2), parallel across nodes.
+        assert when == pytest.approx(0.4)
+
+    def test_rounds_counted(self, env, cluster):
+        coordinator = TwoPhaseCommitCoordinator(env, cluster.network)
+        run_commit(env, coordinator, cluster.nodes)
+        assert coordinator.rounds == 1
+
+
+class TestFailureInjection:
+    def test_injected_no_vote_aborts(self, env, cluster):
+        coordinator = TwoPhaseCommitCoordinator(
+            env,
+            cluster.network,
+            TwoPhaseCommitConfig(vote_no_probability=1.0),
+            rng=random.Random(0),
+        )
+        _when, outcome = run_commit(env, coordinator, cluster.nodes)
+        assert not outcome.committed
+        assert len(outcome.no_votes) == 3
+        assert coordinator.aborts == 1
+
+    def test_injection_requires_rng(self, env, cluster):
+        with pytest.raises(ValueError):
+            TwoPhaseCommitCoordinator(
+                env,
+                cluster.network,
+                TwoPhaseCommitConfig(vote_no_probability=0.5),
+            )
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            TwoPhaseCommitConfig(vote_no_probability=1.5)
+
+    def test_prepare_work_charged_at_participant(self, env):
+        cluster = Cluster(
+            env,
+            ClusterConfig(
+                node_count=2,
+                capacity_units_per_s=10,
+                network_latency_s=0.0001,
+            ),
+        )
+        network = cluster.network
+        coordinator = TwoPhaseCommitCoordinator(
+            env, network, TwoPhaseCommitConfig(prepare_work_units=5.0)
+        )
+        when, outcome = run_commit(env, coordinator, cluster.nodes)
+        assert outcome.committed
+        assert when >= 0.5  # 5 units at 10 units/s on each node (parallel)

@@ -1,0 +1,146 @@
+"""Tests for workload trace recording and replay."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.routing import Query
+from repro.types import AccessMode
+from repro.workload import Trace, TraceEntry, TraceRecorder, TraceReplayProcess
+
+from ..txn.conftest import build_stack
+
+
+def make_entry(time=0.0, type_id=1, queries=((3, "read", None),)):
+    return TraceEntry(time=time, type_id=type_id, queries=tuple(queries))
+
+
+class TestTraceEntry:
+    def test_from_transaction_captures_shape(self):
+        stack = build_stack()
+        txn = stack.tm.create_normal(
+            [
+                Query("t", 3, AccessMode.READ),
+                Query("t", 4, AccessMode.WRITE, value=9),
+            ],
+            type_id=5,
+        )
+        entry = TraceEntry.from_transaction(12.5, txn)
+        assert entry.time == 12.5
+        assert entry.type_id == 5
+        assert entry.queries == ((3, "read", None), (4, "write", 9))
+
+    def test_to_queries_roundtrip(self):
+        entry = make_entry(queries=((3, "read", None), (4, "write", 9)))
+        queries = entry.to_queries("accounts")
+        assert queries[0] == Query("accounts", 3, AccessMode.READ)
+        assert queries[1] == Query("accounts", 4, AccessMode.WRITE, value=9)
+
+    def test_json_roundtrip(self):
+        entry = make_entry(time=7.25, queries=((1, "write", 42),))
+        assert TraceEntry.from_json(entry.to_json()) == entry
+
+
+class TestTrace:
+    def test_serialisation_roundtrip(self):
+        trace = Trace(
+            entries=[make_entry(time=0.0), make_entry(time=5.0)]
+        )
+        parsed = Trace.loads(trace.dumps())
+        assert parsed.entries == trace.entries
+
+    def test_unordered_trace_rejected(self):
+        trace = Trace(
+            entries=[make_entry(time=5.0), make_entry(time=1.0)]
+        )
+        with pytest.raises(ConfigError, match="not time-ordered"):
+            trace.validate()
+
+    def test_save_and_load(self, tmp_path):
+        trace = Trace(entries=[make_entry(time=1.0)])
+        path = tmp_path / "trace.jsonl"
+        trace.save(str(path))
+        assert Trace.load(str(path)).entries == trace.entries
+
+    def test_empty_text_gives_empty_trace(self):
+        assert len(Trace.loads("")) == 0
+
+
+class TestRecorder:
+    def test_records_normal_transactions_once(self):
+        stack = build_stack()
+        recorder = TraceRecorder(stack.env)
+        txn = stack.tm.create_normal([stack.read(0)], type_id=3)
+        recorder.record(txn)
+        recorder.record(txn)  # retry: must not duplicate
+        assert len(recorder.trace) == 1
+        assert recorder.trace.entries[0].type_id == 3
+
+    def test_repartition_transactions_ignored(self):
+        from repro.partitioning import Migrate
+
+        stack = build_stack()
+        recorder = TraceRecorder(stack.env)
+        rep = stack.tm.create_repartition(
+            [Migrate(op_id=0, key=0, source=0, destination=1)]
+        )
+        recorder.record(rep)
+        assert len(recorder.trace) == 0
+
+
+class TestReplay:
+    def test_replay_reproduces_times_and_shapes(self):
+        # Record a stream on system A.
+        stack_a = build_stack()
+        recorder = TraceRecorder(stack_a.env)
+
+        def produce():
+            for i in range(5):
+                txn = stack_a.tm.create_normal(
+                    [stack_a.write(i, i * 10)], type_id=i
+                )
+                recorder.record(txn)
+                stack_a.tm.submit(txn)
+                yield stack_a.env.timeout(3.0)
+
+        stack_a.env.process(produce())
+        stack_a.env.run(until=100)
+
+        # Replay it on a fresh system B.
+        stack_b = build_stack()
+        submitted = []
+        original = stack_b.tm.submit
+
+        def spy(txn, priority=None):
+            submitted.append((stack_b.env.now, txn.type_id))
+            original(txn, priority)
+
+        stack_b.tm.submit = spy
+        replay = TraceReplayProcess(
+            stack_b.env, stack_b.tm, recorder.trace, table="t"
+        )
+        stack_b.env.run(until=100)
+        assert replay.replayed == 5
+        assert [t for t, _ in submitted] == [0.0, 3.0, 6.0, 9.0, 12.0]
+        assert [tid for _, tid in submitted] == [0, 1, 2, 3, 4]
+        # Effects identical: the same values written to the same keys.
+        for i in range(5):
+            pid = stack_b.pmap.primary_of(i)
+            node = stack_b.cluster.node_for_partition(pid)
+            assert node.store.read(i) == i * 10
+
+    def test_time_offset_shifts_replay(self):
+        stack = build_stack()
+        trace = Trace(entries=[make_entry(time=1.0)])
+        times = []
+        original = stack.tm.submit
+
+        def spy(txn, priority=None):
+            times.append(stack.env.now)
+            original(txn, priority)
+
+        stack.tm.submit = spy
+        TraceReplayProcess(
+            stack.env, stack.tm, trace, table="t", time_offset=10.0
+        )
+        stack.env.run(until=50)
+        assert times == [11.0]
