@@ -1,0 +1,173 @@
+"""Perf harness for the experiment engine: kernel, cache, parallelism.
+
+Times the three layers this stack is built from and writes the numbers
+to ``BENCH_engine.json`` at the repo root so future changes have a perf
+trajectory to compare against:
+
+* **kernel** — raw event-loop throughput (events/s) and the batched
+  ``run_intervals`` path;
+* **cell** — wall-clock of one standard bench-scale cell;
+* **parallel** — a figure-4-scale batch (15 cells = 5 schedulers × 3 α)
+  serial vs ``jobs=4``, with the speedup;
+* **cache** — cold vs warm batch, asserting the warm pass executes zero
+  simulations.
+
+Correctness is asserted alongside the timings (parallel output must be
+bit-identical to serial; the warm cache pass must be pure hits).  The
+≥2× speedup assertion only applies on hosts with ≥4 CPUs — on smaller
+machines the speedup is still *recorded* but not enforced.
+
+Uses no pytest plugins, so CI can run it as a plain smoke test:
+``PYTHONPATH=src python -m pytest -x -q benchmarks/test_perf_engine.py``.
+"""
+
+import dataclasses
+import json
+import os
+import pathlib
+import platform
+import sys
+import tempfile
+import time
+
+from repro.experiments import (
+    CellReport,
+    ResultCache,
+    bench_scale,
+    run_cells,
+)
+from repro.experiments.figures import GRID_ALPHAS
+from repro.sim import Environment
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_PATH = ROOT / "BENCH_engine.json"
+
+#: 5 schedulers × 3 α values — the shape of one figure-4 grid.  The cells
+#: use a shortened measurement window so the whole harness stays CI-sized
+#: while each cell is still ~1s of real simulation.
+FIGURE4_SCALE_CELLS = [
+    bench_scale(
+        scheduler=scheduler,
+        alpha=alpha,
+        measure_intervals=10,
+        warmup_intervals=2,
+    )
+    for alpha in GRID_ALPHAS
+    for scheduler in ("ApplyAll", "AfterAll", "Feedback", "Piggyback", "Hybrid")
+]
+
+PARALLEL_JOBS = 4
+
+
+def _identical(a, b):
+    return a.summary == b.summary and all(
+        dataclasses.asdict(x) == dataclasses.asdict(y)
+        for x, y in zip(a.intervals, b.intervals)
+    )
+
+
+def _time_kernel(n=50_000):
+    """Pure event-loop throughput: schedule n timeouts, drain, time it."""
+    env = Environment()
+    fired = []
+    callback = fired.append
+    for i in range(n):
+        timeout = env.timeout((i * 7) % 100)
+        timeout.callbacks.append(callback)
+    started = time.perf_counter()
+    env.run()
+    elapsed = time.perf_counter() - started
+    assert len(fired) == n
+    return n / elapsed
+
+
+def _time_run_intervals(n=20_000, intervals=100):
+    """The batched horizon path: n timeouts drained across 100 windows."""
+    env = Environment()
+    fired = []
+    callback = fired.append
+    for i in range(n):
+        timeout = env.timeout(i % 100)
+        timeout.callbacks.append(callback)
+    boundaries = []
+    started = time.perf_counter()
+    env.run_intervals(1.0, intervals, on_interval=boundaries.append)
+    elapsed = time.perf_counter() - started
+    assert len(fired) == n
+    assert len(boundaries) == intervals
+    return n / elapsed
+
+
+def test_perf_engine():
+    payload = {
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "parallel_jobs": PARALLEL_JOBS,
+    }
+
+    # Layer 3: sim-kernel fast path.
+    payload["kernel_events_per_s"] = round(_time_kernel())
+    payload["kernel_run_intervals_events_per_s"] = round(_time_run_intervals())
+
+    # One standard cell, for the per-cell trajectory.
+    standard = bench_scale()
+    started = time.perf_counter()
+    (standard_result,) = run_cells([standard], jobs=1)
+    payload["standard_cell_wall_clock_s"] = round(
+        time.perf_counter() - started, 3
+    )
+    assert standard_result.summary["total_committed"] > 0
+
+    # Layer 1: serial vs parallel over a figure-4-scale batch.
+    started = time.perf_counter()
+    serial = run_cells(FIGURE4_SCALE_CELLS, jobs=1)
+    serial_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = run_cells(FIGURE4_SCALE_CELLS, jobs=PARALLEL_JOBS)
+    parallel_s = time.perf_counter() - started
+
+    assert all(_identical(a, b) for a, b in zip(serial, parallel))
+    speedup = serial_s / parallel_s if parallel_s > 0 else 0.0
+    payload["figure4_scale_cells"] = len(FIGURE4_SCALE_CELLS)
+    payload["serial_wall_clock_s"] = round(serial_s, 3)
+    payload["parallel_wall_clock_s"] = round(parallel_s, 3)
+    payload["parallel_speedup"] = round(speedup, 2)
+    if (os.cpu_count() or 1) >= PARALLEL_JOBS:
+        assert speedup >= 2.0, (
+            f"expected >= 2x speedup at jobs={PARALLEL_JOBS} "
+            f"on {os.cpu_count()} CPUs, measured {speedup:.2f}x"
+        )
+
+    # Layer 2: result cache — the warm pass must execute 0 simulations.
+    with tempfile.TemporaryDirectory() as cache_dir:
+        cache = ResultCache(cache_dir)
+        cold_report = CellReport()
+        started = time.perf_counter()
+        cold = run_cells(
+            FIGURE4_SCALE_CELLS, jobs=1, cache=cache, report=cold_report
+        )
+        cold_s = time.perf_counter() - started
+
+        warm_report = CellReport()
+        started = time.perf_counter()
+        warm = run_cells(
+            FIGURE4_SCALE_CELLS, jobs=1, cache=cache, report=warm_report
+        )
+        warm_s = time.perf_counter() - started
+
+    assert warm_report.executed == 0
+    assert warm_report.cache_hits == len(FIGURE4_SCALE_CELLS)
+    assert all(_identical(a, b) for a, b in zip(cold, warm))
+    payload["cache_cold_wall_clock_s"] = round(cold_s, 3)
+    payload["cache_warm_wall_clock_s"] = round(warm_s, 3)
+    payload["cache_warm_executed"] = warm_report.executed
+    payload["cache_warm_hits"] = warm_report.cache_hits
+
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {BENCH_PATH}:\n{json.dumps(payload, indent=2)}")
+
+
+if __name__ == "__main__":
+    sys.exit(os.system(f"{sys.executable} -m pytest -x -q {__file__}"))

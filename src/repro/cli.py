@@ -4,7 +4,9 @@ Usage examples::
 
     python -m repro run --scheduler Hybrid --distribution zipf --load high
     python -m repro compare --distribution uniform --load low --alpha 0.6
-    python -m repro figure 4
+    python -m repro figure 4 --jobs 4
+    python -m repro figure 4 --jobs 4      # second run: all cells cached
+    python -m repro sweep --seeds 0 1 2 3 --jobs 4 --no-cache
     python -m repro table1
 """
 
@@ -15,7 +17,11 @@ import sys
 from typing import Optional, Sequence
 
 from .experiments import (
+    CACHE_DIR_ENV,
+    DEFAULT_CACHE_DIR,
     SCHEDULER_NAMES,
+    CellReport,
+    ResultCache,
     bench_scale,
     figure3_failure_rate,
     figure4_zipf_high,
@@ -23,7 +29,7 @@ from .experiments import (
     figure6_zipf_low,
     figure7_uniform_low,
     format_table1,
-    run_experiment,
+    run_cells,
 )
 from .metrics import format_comparison_table, format_interval_table
 
@@ -81,6 +87,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="seeds to sweep",
     )
 
+    for command in (run, compare, figure, sweep):
+        _add_engine_arguments(command)
+
     sub.add_parser("table1", help="print Table 1 (SP setpoints)")
     return parser
 
@@ -102,6 +111,42 @@ def _add_cell_arguments(
     parser.add_argument("--warmup", type=int, default=5)
 
 
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for independent cells (0 = one per CPU)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="always re-run cells, even when a cached result exists",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help=(
+            f"result cache directory (default {DEFAULT_CACHE_DIR!r}, "
+            f"overridable via ${CACHE_DIR_ENV})"
+        ),
+    )
+
+
+def _engine(args: argparse.Namespace) -> tuple[Optional[ResultCache], CellReport]:
+    """The cache (honouring --no-cache/--cache-dir) and a fresh report."""
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    return cache, CellReport()
+
+
+def _print_report(report: CellReport, cache: Optional[ResultCache]) -> None:
+    if cache is None:
+        print(f"ran {report.describe()} (cache disabled)", file=sys.stderr)
+    else:
+        print(
+            f"ran {report.describe()} "
+            f"[cache: {report.cache_hits} hit(s), "
+            f"{report.cache_misses} miss(es) in {cache.directory}]",
+            file=sys.stderr,
+        )
+
+
 def _cell_config(args: argparse.Namespace, scheduler: Optional[str] = None):
     return bench_scale(
         scheduler=scheduler or args.scheduler,
@@ -116,8 +161,12 @@ def _cell_config(args: argparse.Namespace, scheduler: Optional[str] = None):
 
 def _command_run(args: argparse.Namespace) -> int:
     config = _cell_config(args)
+    cache, report = _engine(args)
     print(f"running {config.name} ...", file=sys.stderr)
-    result = run_experiment(config)
+    result = run_cells(
+        [config], jobs=args.jobs, cache=cache, report=report
+    )[0]
+    _print_report(report, cache)
     print(format_interval_table(result.measured, every=args.every))
     print()
     for key, value in result.summary.items():
@@ -131,11 +180,24 @@ def _command_run(args: argparse.Namespace) -> int:
 
 
 def _command_compare(args: argparse.Namespace) -> int:
-    records = {}
-    for scheduler in SCHEDULER_NAMES:
-        print(f"running {scheduler} ...", file=sys.stderr)
-        result = run_experiment(_cell_config(args, scheduler))
-        records[scheduler] = result.measured
+    cache, report = _engine(args)
+    configs = [
+        _cell_config(args, scheduler) for scheduler in SCHEDULER_NAMES
+    ]
+    results = run_cells(
+        configs,
+        jobs=args.jobs,
+        cache=cache,
+        progress=lambda config: print(
+            f"running {config.scheduler} ...", file=sys.stderr
+        ),
+        report=report,
+    )
+    _print_report(report, cache)
+    records = {
+        scheduler: result.measured
+        for scheduler, result in zip(SCHEDULER_NAMES, results)
+    }
     title = (
         f"{args.metric} — {args.distribution}/{args.load}, "
         f"alpha={int(args.alpha * 100)}%"
@@ -146,8 +208,16 @@ def _command_compare(args: argparse.Namespace) -> int:
 
 def _command_figure(args: argparse.Namespace) -> int:
     builder = _FIGURES[args.number]
+    cache, report = _engine(args)
     print(f"regenerating Figure {args.number} ...", file=sys.stderr)
-    result = builder(seed=args.seed)
+    result = builder(
+        seed=args.seed,
+        jobs=args.jobs,
+        cache=cache,
+        report=report,
+        progress=lambda label: print(f"running {label} ...", file=sys.stderr),
+    )
+    _print_report(report, cache)
     print(result.render(every=5))
     return 0
 
@@ -156,13 +226,18 @@ def _command_sweep(args: argparse.Namespace) -> int:
     from .experiments import sweep_seeds
 
     config = _cell_config(args)
+    cache, report = _engine(args)
     sweep = sweep_seeds(
         config,
         args.seeds,
         progress=lambda seed: print(
             f"running {config.name} seed={seed} ...", file=sys.stderr
         ),
+        jobs=args.jobs,
+        cache=cache,
+        report=report,
     )
+    _print_report(report, cache)
     for metric in (
         "mean_throughput_txn_per_min",
         "mean_latency_ms",
@@ -171,7 +246,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
     ):
         stats = sweep.stats(metric)
         print(
-            f"{metric}: {stats.mean:.3f} ± {stats.std:.3f} "
+            f"{metric}: {stats.mean:.3f} ± {stats.sample_std:.3f} "
             f"(min {stats.minimum:.3f}, max {stats.maximum:.3f}, "
             f"n={stats.samples})"
         )

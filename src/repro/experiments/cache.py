@@ -1,0 +1,122 @@
+"""On-disk cache of completed experiment results.
+
+Every experiment cell is a pure function of its :class:`ExperimentConfig`
+(the simulator is fully deterministic given the config's seed), so a
+finished :class:`~repro.experiments.runner.ExperimentResult` can be reused
+whenever the same config shows up again — regenerating a figure with one
+changed cell re-runs one simulation instead of fifteen.
+
+**Key scheme.**  A config is hashed by converting the (frozen, nested)
+dataclass to a canonical JSON document — ``dataclasses.asdict`` then
+``json.dumps(sort_keys=True)`` — and taking the SHA-256 of that text.  A
+schema-version tag is mixed into the hashed payload *and* prefixed to the
+file name, so bumping :data:`CACHE_SCHEMA_VERSION` (required whenever the
+stored layout changes, or whenever a simulator change makes old results
+non-reproducible) invalidates every existing entry at once.
+
+The cache directory resolves, in order, to: the explicit constructor
+argument, the ``REPRO_CACHE_DIR`` environment variable, then
+``.repro-cache/`` under the current working directory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional, Union
+
+from ..metrics.export import result_from_state_dict, result_to_state_dict
+from .config import ExperimentConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .runner import ExperimentResult
+
+#: Bump whenever the cached layout or the simulation semantics change;
+#: old entries then miss instead of resurrecting stale results.
+CACHE_SCHEMA_VERSION = 1
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Directory used when neither an argument nor the env var names one.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def config_key(config: ExperimentConfig) -> str:
+    """Stable SHA-256 over the canonical JSON form of ``config``."""
+    payload = json.dumps(
+        {
+            "schema": CACHE_SCHEMA_VERSION,
+            "config": dataclasses.asdict(config),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+        default=repr,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def default_cache_dir() -> Path:
+    """The directory used when no explicit one is given."""
+    return Path(os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR)
+
+
+class ResultCache:
+    """Maps :class:`ExperimentConfig` to a completed result on disk.
+
+    Entries are one JSON file each, written atomically (tmp file +
+    ``os.replace``) so a crashed or concurrent run can never leave a
+    half-written entry behind; unreadable or structurally stale files are
+    treated as misses.
+    """
+
+    def __init__(self, directory: Optional[Union[str, Path]] = None) -> None:
+        self.directory = (
+            Path(directory) if directory is not None else default_cache_dir()
+        )
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, config: ExperimentConfig) -> Path:
+        """The entry file backing ``config``."""
+        return self.directory / (
+            f"v{CACHE_SCHEMA_VERSION}-{config_key(config)}.json"
+        )
+
+    def get(self, config: ExperimentConfig) -> Optional["ExperimentResult"]:
+        """The cached result for ``config``, or ``None`` on a miss."""
+        path = self.path_for(config)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            result = result_from_state_dict(payload, config)
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, config: ExperimentConfig, result: "ExperimentResult") -> None:
+        """Store ``result`` under ``config``'s key.
+
+        Best-effort: an unwritable cache directory must not discard a
+        simulation that already completed, so write failures leave the
+        cell uncached instead of raising (the per-invocation report still
+        shows it as a miss, which is how a mistyped ``--cache-dir``
+        surfaces).
+        """
+        path = self.path_for(config)
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(result_to_state_dict(result), handle)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass

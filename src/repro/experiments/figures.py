@@ -14,8 +14,10 @@ from typing import Callable, Optional, Sequence
 
 from ..metrics.collectors import IntervalRecord
 from ..metrics.report import format_comparison_table, format_sparkline_panel
+from .cache import ResultCache
 from .config import SCHEDULER_NAMES, ExperimentConfig, bench_scale
-from .runner import ExperimentResult, run_experiment
+from .parallel import CellReport, run_cells
+from .runner import ExperimentResult
 
 #: The metrics plotted in each figure-grid row.
 GRID_METRICS = (
@@ -72,6 +74,69 @@ class FigureResult:
         return "\n\n".join(blocks)
 
 
+@dataclass
+class _CellPlan:
+    """The cells of one figure, laid out before execution.
+
+    Splitting planning from execution lets Figure 3 concatenate four
+    panels' worth of configs into a *single* :func:`run_cells` batch, so
+    ``--jobs`` parallelism spans the whole figure rather than one panel.
+    """
+
+    figure: str
+    cells: list[tuple[str, float]]
+    configs: list[ExperimentConfig]
+    labels: dict[int, str]
+
+    def assemble(self, results: Sequence[ExperimentResult]) -> FigureResult:
+        out = FigureResult(figure=self.figure)
+        for cell, result in zip(self.cells, results):
+            out.runs[cell] = result
+        return out
+
+
+def _cell_plan(
+    figure: str,
+    distribution: str,
+    load: str,
+    alphas: Sequence[float],
+    schedulers: Sequence[str] = SCHEDULER_NAMES,
+    seed: int = 0,
+    config_factory: Optional[
+        Callable[[str, str, str, float, int], ExperimentConfig]
+    ] = None,
+) -> _CellPlan:
+    factory = config_factory or (
+        lambda sched, dist, lo, alpha, sd: bench_scale(
+            scheduler=sched,
+            distribution=dist,
+            load=lo,
+            alpha=alpha,
+            seed=sd,
+        )
+    )
+    cells = [
+        (scheduler, alpha) for alpha in alphas for scheduler in schedulers
+    ]
+    configs = []
+    labels = {}
+    for scheduler, alpha in cells:
+        config = factory(scheduler, distribution, load, alpha, seed)
+        labels[id(config)] = f"{figure}: {scheduler} alpha={alpha}"
+        configs.append(config)
+    return _CellPlan(
+        figure=figure, cells=cells, configs=configs, labels=labels
+    )
+
+
+def _progress_adapter(
+    labels: dict[int, str], progress: Optional[Callable[[str], None]]
+) -> Optional[Callable[[ExperimentConfig], None]]:
+    if progress is None:
+        return None
+    return lambda config: progress(labels[id(config)])
+
+
 def _run_cells(
     figure: str,
     distribution: str,
@@ -83,24 +148,21 @@ def _run_cells(
         Callable[[str, str, str, float, int], ExperimentConfig]
     ] = None,
     progress: Optional[Callable[[str], None]] = None,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    report: Optional[CellReport] = None,
 ) -> FigureResult:
-    factory = config_factory or (
-        lambda sched, dist, lo, alpha, sd: bench_scale(
-            scheduler=sched,
-            distribution=dist,
-            load=lo,
-            alpha=alpha,
-            seed=sd,
-        )
+    plan = _cell_plan(
+        figure, distribution, load, alphas, schedulers, seed, config_factory
     )
-    result = FigureResult(figure=figure)
-    for alpha in alphas:
-        for scheduler in schedulers:
-            if progress is not None:
-                progress(f"{figure}: {scheduler} alpha={alpha}")
-            config = factory(scheduler, distribution, load, alpha, seed)
-            result.runs[(scheduler, alpha)] = run_experiment(config)
-    return result
+    results = run_cells(
+        plan.configs,
+        jobs=jobs,
+        cache=cache,
+        progress=_progress_adapter(plan.labels, progress),
+        report=report,
+    )
+    return plan.assemble(results)
 
 
 def figure4_zipf_high(**kwargs) -> FigureResult:
@@ -147,16 +209,44 @@ class Figure3Result:
         return "\n\n".join(blocks)
 
 
-def figure3_failure_rate(**kwargs) -> Figure3Result:
-    """Figure 3: transaction failure rate for all four workload panels."""
-    result = Figure3Result()
-    for dist, load, label in (
-        ("zipf", "high", "Zipf/High"),
-        ("uniform", "high", "Uniform/High"),
-        ("zipf", "low", "Zipf/Low"),
-        ("uniform", "low", "Uniform/Low"),
-    ):
-        result.panels[label] = _run_cells(
-            f"Figure 3 ({label})", dist, load, (1.0,), **kwargs
+def figure3_failure_rate(
+    progress: Optional[Callable[[str], None]] = None,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    report: Optional[CellReport] = None,
+    **kwargs,
+) -> Figure3Result:
+    """Figure 3: transaction failure rate for all four workload panels.
+
+    All four panels (20 cells) are planned up front and executed as one
+    batch, so ``jobs`` parallelism spans the whole figure.
+    """
+    plans = [
+        (label, _cell_plan(f"Figure 3 ({label})", dist, load, (1.0,), **kwargs))
+        for dist, load, label in (
+            ("zipf", "high", "Zipf/High"),
+            ("uniform", "high", "Uniform/High"),
+            ("zipf", "low", "Zipf/Low"),
+            ("uniform", "low", "Uniform/Low"),
         )
-    return result
+    ]
+    configs = []
+    labels: dict[int, str] = {}
+    for _label, plan in plans:
+        configs.extend(plan.configs)
+        labels.update(plan.labels)
+    results = run_cells(
+        configs,
+        jobs=jobs,
+        cache=cache,
+        progress=_progress_adapter(labels, progress),
+        report=report,
+    )
+    figure = Figure3Result()
+    offset = 0
+    for label, plan in plans:
+        figure.panels[label] = plan.assemble(
+            results[offset:offset + len(plan.configs)]
+        )
+        offset += len(plan.configs)
+    return figure

@@ -1,0 +1,142 @@
+"""Parallel execution of experiment cells.
+
+Every paper artifact is embarrassingly parallel: a figure grid is 15
+independent cells (5 schedulers × 3 α values), Figure 3 is 20, and a seed
+sweep multiplies a cell by its seed count.  :func:`run_cells` is the one
+engine all of them route through — figures, sweeps, and the CLI — so the
+``--jobs`` knob and the result cache apply uniformly.
+
+Guarantees:
+
+* **Deterministic order** — results come back in the order of ``configs``
+  regardless of which worker finishes first.
+* **Serial fallback** — ``jobs=1`` runs in-process through the exact code
+  path the serial runner always used, so serial and parallel output can
+  be compared bit-for-bit.
+* **Cache transparency** — with a :class:`~repro.experiments.cache.ResultCache`,
+  cells whose config already has a stored result are served from disk and
+  never dispatched; freshly executed cells are stored on the way out.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from .cache import ResultCache
+from .config import ExperimentConfig
+from .runner import ExperimentResult, run_experiment
+
+
+@dataclass
+class CellReport:
+    """Bookkeeping for one batch of cells (surfaced in the CLI).
+
+    ``total`` counts requested cells, ``cache_hits`` the ones served from
+    disk, ``executed`` the ones actually simulated; ``wall_clock_s`` is
+    the end-to-end time of the batch including cache I/O.
+    """
+
+    total: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    wall_clock_s: float = 0.0
+
+    @property
+    def cache_misses(self) -> int:
+        """Cells that were not served from the cache."""
+        return self.total - self.cache_hits
+
+    def describe(self) -> str:
+        """One-line summary for progress output."""
+        return (
+            f"{self.total} cell(s): {self.cache_hits} cached, "
+            f"{self.executed} executed in {self.wall_clock_s:.1f}s"
+        )
+
+
+def resolve_jobs(jobs: int) -> int:
+    """Normalise a ``--jobs`` value; ``0`` (or less) means one per CPU."""
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def _worker_init(extra_paths: Sequence[str]) -> None:
+    """Make ``repro`` importable in spawned workers (uninstalled checkouts)."""
+    for path in reversed(list(extra_paths)):
+        if path not in sys.path:
+            sys.path.insert(0, path)
+
+
+def _execute_cell(config: ExperimentConfig) -> ExperimentResult:
+    """Top-level worker entry point (must be picklable by name)."""
+    return run_experiment(config)
+
+
+def run_cells(
+    configs: Sequence[ExperimentConfig],
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    progress: Optional[Callable[[ExperimentConfig], None]] = None,
+    report: Optional[CellReport] = None,
+) -> List[ExperimentResult]:
+    """Run every config, returning results in config order.
+
+    ``progress`` is invoked with each config that is about to be executed
+    (cache hits are silent); under a worker pool it fires at submission
+    time, still in config order.
+    """
+    configs = list(configs)
+    if report is None:
+        report = CellReport()
+    started = time.perf_counter()
+    report.total += len(configs)
+
+    results: List[Optional[ExperimentResult]] = [None] * len(configs)
+    pending: List[int] = []
+    for index, config in enumerate(configs):
+        cached = cache.get(config) if cache is not None else None
+        if cached is not None:
+            results[index] = cached
+            report.cache_hits += 1
+        else:
+            pending.append(index)
+
+    jobs = resolve_jobs(jobs)
+    if pending:
+        if jobs == 1 or len(pending) == 1:
+            for index in pending:
+                if progress is not None:
+                    progress(configs[index])
+                results[index] = run_experiment(configs[index])
+        else:
+            # The package root rather than sys.path verbatim: workers only
+            # need repro importable, not the parent's whole path state.
+            import repro
+
+            package_root = os.path.dirname(os.path.dirname(repro.__file__))
+            if progress is not None:
+                for index in pending:
+                    progress(configs[index])
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(pending)),
+                initializer=_worker_init,
+                initargs=([package_root],),
+            ) as pool:
+                ordered = pool.map(
+                    _execute_cell, [configs[i] for i in pending]
+                )
+                for index, result in zip(pending, ordered):
+                    results[index] = result
+        if cache is not None:
+            for index in pending:
+                cache.put(configs[index], results[index])
+        report.executed += len(pending)
+
+    report.wall_clock_s += time.perf_counter() - started
+    return results  # type: ignore[return-value]

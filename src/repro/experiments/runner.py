@@ -179,14 +179,7 @@ def build_system(config: ExperimentConfig) -> System:
         ),
         rng=streams.stream("failures"),
     )
-    tm_holder: list[TransactionManager] = []
-    metrics = MetricsCollector(
-        env,
-        interval_s=config.runtime.interval_s,
-        queue_length_probe=lambda: (
-            len(tm_holder[0].queue) if tm_holder else 0
-        ),
-    )
+    metrics = MetricsCollector(env, interval_s=config.runtime.interval_s)
     tm = TransactionManager(
         env,
         executor,
@@ -198,7 +191,9 @@ def build_system(config: ExperimentConfig) -> System:
             queue_timeout_s=config.runtime.queue_timeout_s,
         ),
     )
-    tm_holder.append(tm)
+    # The TM needs the collector at construction and the collector probes
+    # the TM's queue, so the probe is wired second.
+    metrics.set_queue_length_probe(lambda: len(tm.queue))
 
     expected_cost = cost_model.expected_cost_per_txn(profile.types, pmap)
     rate = calibrate_rate(

@@ -12,34 +12,43 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
+from .cache import ResultCache
 from .config import ExperimentConfig
-from .runner import ExperimentResult, run_experiment
+from .parallel import CellReport, run_cells
+from .runner import ExperimentResult
 
 
 @dataclass(frozen=True)
 class MetricStats:
-    """Aggregate statistics of one metric across runs."""
+    """Aggregate statistics of one metric across runs.
+
+    ``std`` is the population standard deviation (divide by *n*);
+    ``sample_std`` is the Bessel-corrected estimate (divide by *n − 1*),
+    which is what a comparison across a handful of seeds should quote.
+    """
 
     mean: float
     std: float
     minimum: float
     maximum: float
     samples: int
+    sample_std: float = 0.0
 
     @classmethod
     def from_values(cls, values: Sequence[float]) -> "MetricStats":
-        """Compute stats (population std) over a non-empty sample."""
+        """Compute stats (population and sample std) over a non-empty sample."""
         if not values:
             raise ValueError("cannot aggregate an empty sample")
         n = len(values)
         mean = math.fsum(values) / n
-        variance = math.fsum((v - mean) ** 2 for v in values) / n
+        sum_sq = math.fsum((v - mean) ** 2 for v in values)
         return cls(
             mean=mean,
-            std=math.sqrt(variance),
+            std=math.sqrt(sum_sq / n),
             minimum=min(values),
             maximum=max(values),
             samples=n,
+            sample_std=math.sqrt(sum_sq / (n - 1)) if n > 1 else 0.0,
         )
 
 
@@ -71,17 +80,31 @@ def sweep_seeds(
     config: ExperimentConfig,
     seeds: Sequence[int],
     progress: Optional[Callable[[int], None]] = None,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    report: Optional[CellReport] = None,
 ) -> SweepResult:
-    """Run ``config`` once per seed and collect the results."""
+    """Run ``config`` once per seed and collect the results.
+
+    Routed through :func:`~repro.experiments.parallel.run_cells`, so seeds
+    fan out across ``jobs`` workers and completed seeds are served from
+    ``cache`` when one is given.
+    """
     if not seeds:
         raise ValueError("need at least one seed")
+    configs = [config.with_overrides(seed=seed) for seed in seeds]
+    results = run_cells(
+        configs,
+        jobs=jobs,
+        cache=cache,
+        progress=(
+            None if progress is None
+            else lambda cell_config: progress(cell_config.seed)
+        ),
+        report=report,
+    )
     sweep = SweepResult(config=config)
-    for seed in seeds:
-        if progress is not None:
-            progress(seed)
-        sweep.results.append(
-            run_experiment(config.with_overrides(seed=seed))
-        )
+    sweep.results.extend(results)
     return sweep
 
 
@@ -93,7 +116,7 @@ def format_sweep_comparison(
         "final_rep_rate",
     ),
 ) -> str:
-    """Mean ± std table across schedulers, one row per metric."""
+    """Mean ± sample std (Bessel-corrected) across schedulers, per metric."""
     names = list(sweeps)
     width = max(18, max((len(n) for n in names), default=18) + 2)
     lines = [
@@ -104,7 +127,7 @@ def format_sweep_comparison(
         cells = []
         for name in names:
             stats = sweeps[name].stats(metric)
-            cells.append(f"{stats.mean:.2f} ± {stats.std:.2f}")
+            cells.append(f"{stats.mean:.2f} ± {stats.sample_std:.2f}")
         lines.append(
             f"{metric:<30} "
             + " ".join(f"{cell:>{width}}" for cell in cells)

@@ -3,10 +3,15 @@
 from .collectors import IntervalRecord, MetricsCollector
 from .export import (
     INTERVAL_FIELDS,
+    INTERVAL_STATE_FIELDS,
+    interval_from_state_dict,
     interval_to_dict,
+    interval_to_state_dict,
     intervals_to_csv,
+    result_from_state_dict,
     result_to_dict,
     result_to_json,
+    result_to_state_dict,
     save_result,
 )
 from .report import (
@@ -20,12 +25,17 @@ from .series import area_under, first_index_reaching, mean, series, smooth
 
 __all__ = [
     "INTERVAL_FIELDS",
+    "INTERVAL_STATE_FIELDS",
     "IntervalRecord",
     "MetricsCollector",
+    "interval_from_state_dict",
     "interval_to_dict",
+    "interval_to_state_dict",
     "intervals_to_csv",
+    "result_from_state_dict",
     "result_to_dict",
     "result_to_json",
+    "result_to_state_dict",
     "save_result",
     "area_under",
     "first_index_reaching",

@@ -140,6 +140,9 @@ class MetricsCollector:
             raise ValueError(f"interval must be positive: {interval_s}")
         self.env = env
         self.interval_s = interval_s
+        #: Sampled at each interval close; may be wired after construction
+        #: via :meth:`set_queue_length_probe` when the queue owner (the
+        #: transaction manager) is built later than the collector.
         self.queue_length_probe = queue_length_probe
         self.intervals: list[IntervalRecord] = []
         self.rep_ops_total = 0
@@ -187,6 +190,12 @@ class MetricsCollector:
             self._current.normal_aborted += 1
         else:
             self._current.rep_aborted += 1
+
+    def set_queue_length_probe(self, probe: Callable[[], int]) -> None:
+        """Wire (or replace) the queue-length probe after construction."""
+        if not callable(probe):
+            raise TypeError(f"probe must be callable, got {probe!r}")
+        self.queue_length_probe = probe
 
     def record_rep_op_applied(self) -> None:
         """One repartition operation took effect (committed)."""

@@ -9,6 +9,7 @@ These helpers serialise :class:`IntervalRecord` sequences and whole
 from __future__ import annotations
 
 import csv
+import dataclasses
 import io
 import json
 from typing import TYPE_CHECKING, Any, Sequence
@@ -44,9 +45,69 @@ INTERVAL_FIELDS = (
 )
 
 
+#: Every *raw* (stored, not derived) field of an interval, in declaration
+#: order.  Unlike :data:`INTERVAL_FIELDS` this includes the latency sample
+#: list and the cumulative counters, so a record serialised with
+#: :func:`interval_to_state_dict` round-trips bit-for-bit — which is what
+#: the experiment result cache depends on.
+INTERVAL_STATE_FIELDS = tuple(
+    f.name for f in dataclasses.fields(IntervalRecord)
+)
+
+
 def interval_to_dict(record: IntervalRecord) -> dict[str, Any]:
     """One interval as a flat JSON-ready dict."""
     return {field: getattr(record, field) for field in INTERVAL_FIELDS}
+
+
+def interval_to_state_dict(record: IntervalRecord) -> dict[str, Any]:
+    """One interval as a full-fidelity dict of its raw fields."""
+    return {
+        field: getattr(record, field) for field in INTERVAL_STATE_FIELDS
+    }
+
+
+def interval_from_state_dict(payload: dict[str, Any]) -> IntervalRecord:
+    """Rebuild an interval from :func:`interval_to_state_dict` output."""
+    return IntervalRecord(**payload)
+
+
+def result_to_state_dict(result: "ExperimentResult") -> dict[str, Any]:
+    """A result's complete measured state (everything but the config).
+
+    The config is deliberately omitted: callers that round-trip results
+    (the cache) already hold the config — it *is* the lookup key — so
+    storing it again would only invite divergence.
+    """
+    return {
+        "arrival_rate_txn_per_s": result.arrival_rate_txn_per_s,
+        "rep_ops_total": result.rep_ops_total,
+        "repartition_start_interval": result.repartition_start_interval,
+        "repartition_completed_at": result.repartition_completed_at,
+        "summary": dict(result.summary),
+        "intervals": [
+            interval_to_state_dict(r) for r in result.intervals
+        ],
+    }
+
+
+def result_from_state_dict(
+    payload: dict[str, Any], config: Any
+) -> "ExperimentResult":
+    """Rebuild a result from :func:`result_to_state_dict` plus its config."""
+    from ..experiments.runner import ExperimentResult
+
+    return ExperimentResult(
+        config=config,
+        intervals=[
+            interval_from_state_dict(d) for d in payload["intervals"]
+        ],
+        repartition_start_interval=payload["repartition_start_interval"],
+        rep_ops_total=payload["rep_ops_total"],
+        repartition_completed_at=payload["repartition_completed_at"],
+        arrival_rate_txn_per_s=payload["arrival_rate_txn_per_s"],
+        summary=dict(payload["summary"]),
+    )
 
 
 def intervals_to_csv(records: Sequence[IntervalRecord]) -> str:

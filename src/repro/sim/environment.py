@@ -4,9 +4,15 @@ from __future__ import annotations
 
 import heapq
 from itertools import count
-from typing import Any, Generator, Optional
+from typing import Any, Callable, Generator, Optional
 
 from .events import AllOf, AnyOf, Event, EventState, Process, Timeout
+
+# Hot-loop locals: every event pop compares against these states, so the
+# enum lookups are hoisted to module level.
+_PENDING = EventState.PENDING
+_SUCCEEDED = EventState.SUCCEEDED
+_FAILED = EventState.FAILED
 
 
 class EmptySchedule(Exception):
@@ -64,10 +70,11 @@ class Environment:
 
     def _enqueue_triggered(self, event: Event) -> None:
         """Queue a just-triggered event's callbacks to run at the current time."""
-        if isinstance(event, Timeout):
-            # Timeouts are already in the heap; their trigger happens when
-            # the heap pops them, so nothing more to do.
-            pass
+        if event._is_timeout:
+            # Timeouts were heaped at construction by _schedule_at; pushing
+            # a second entry would pop them twice.  Their callbacks run
+            # when the heap reaches the original entry.
+            return
         heapq.heappush(self._queue, (self._now, next(self._seq), event))
 
     # ------------------------------------------------------------------
@@ -83,15 +90,39 @@ class Environment:
             raise EmptySchedule()
         when, _seq, event = heapq.heappop(self._queue)
         self._now = when
-        if isinstance(event, Timeout) and not event.triggered:
+        if event._is_timeout and event._state is _PENDING:
             # A timeout triggers exactly when it is popped.
-            event._state = EventState.SUCCEEDED
+            event._state = _SUCCEEDED
         callbacks, event.callbacks = event.callbacks, None
         if callbacks:
             for callback in callbacks:
                 callback(event)
-        if event.failed and not event.defused:
+        if event._state is _FAILED and not event.defused:
             raise event.value  # unhandled failure escalates to the caller
+
+    def _advance(self, horizon: float) -> None:
+        """Process every event scheduled at or before ``horizon``.
+
+        This is :meth:`step` inlined: the queue, ``heappop``, and the state
+        constants are bound to locals so the per-event overhead is a single
+        heap pop plus the callbacks themselves.
+        """
+        queue = self._queue
+        pop = heapq.heappop
+        pending = _PENDING
+        succeeded = _SUCCEEDED
+        failed = _FAILED
+        while queue and queue[0][0] <= horizon:
+            when, _seq, event = pop(queue)
+            self._now = when
+            if event._is_timeout and event._state is pending:
+                event._state = succeeded
+            callbacks, event.callbacks = event.callbacks, None
+            if callbacks:
+                for callback in callbacks:
+                    callback(event)
+            if event._state is failed and not event.defused:
+                raise event.value
 
     def run(self, until: Optional[float | Event] = None) -> Any:
         """Run the simulation.
@@ -119,11 +150,36 @@ class Environment:
             horizon = float(until)
             if horizon < self._now:
                 raise ValueError(f"cannot run backwards to {horizon}")
-            while self._queue and self._queue[0][0] <= horizon:
-                self.step()
+            self._advance(horizon)
             self._now = horizon
             return None
 
-        while self._queue:
-            self.step()
+        self._advance(float("inf"))
         return None
+
+    def run_intervals(
+        self,
+        interval_s: float,
+        intervals: int,
+        on_interval: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        """Advance the clock through ``intervals`` windows of ``interval_s``.
+
+        Equivalent to calling ``run(until=start + k * interval_s)`` for
+        ``k = 1..intervals``, but in one batch-stepping pass: the hot loop
+        is entered once per interval instead of re-entering :meth:`run`
+        (and re-validating its arguments) from the caller.  After each
+        interval boundary ``on_interval`` is invoked with the zero-based
+        interval index, with the clock parked exactly on the boundary.
+        """
+        if interval_s <= 0:
+            raise ValueError(f"interval must be positive: {interval_s}")
+        if intervals < 0:
+            raise ValueError(f"negative interval count: {intervals}")
+        start = self._now
+        for index in range(intervals):
+            horizon = start + interval_s * (index + 1)
+            self._advance(horizon)
+            self._now = horizon
+            if on_interval is not None:
+                on_interval(index)

@@ -33,7 +33,18 @@ class Event:
     Processes wait on events by yielding them.  An event carries a *value*
     (delivered to waiters on success) or an *exception* (raised inside
     waiters on failure).
+
+    Events are allocated (and discarded) once per transaction step, so the
+    kernel classes declare ``__slots__``; subclasses outside this module
+    that need ad-hoc attributes simply omit ``__slots__`` and get a
+    ``__dict__`` as usual.
     """
+
+    __slots__ = ("env", "callbacks", "_state", "_value", "_exception", "defused")
+
+    #: Class-level flag the environment's hot loop reads instead of an
+    #: ``isinstance(event, Timeout)`` check.
+    _is_timeout = False
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -100,6 +111,10 @@ class Event:
 class Timeout(Event):
     """An event that succeeds after ``delay`` units of virtual time."""
 
+    __slots__ = ("delay",)
+
+    _is_timeout = True
+
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
@@ -131,6 +146,8 @@ class Process(Event):
     return value, or fails with an uncaught exception, so other processes
     may wait on its completion.
     """
+
+    __slots__ = ("_generator", "_waiting_on", "_wait_callback")
 
     def __init__(self, env: "Environment", generator: Generator[Event, Any, Any]) -> None:
         if not hasattr(generator, "send"):
@@ -235,6 +252,8 @@ class Process(Event):
 class Condition(Event):
     """Base for composite events over a set of child events."""
 
+    __slots__ = ("_events", "_count")
+
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env)
         self._events = list(events)
@@ -276,12 +295,16 @@ class Condition(Event):
 class AllOf(Condition):
     """Succeeds when *all* child events have succeeded."""
 
+    __slots__ = ()
+
     def _satisfied(self) -> bool:
         return self._count == len(self._events)
 
 
 class AnyOf(Condition):
     """Succeeds when *any* child event has succeeded."""
+
+    __slots__ = ()
 
     def _satisfied(self) -> bool:
         return self._count >= 1

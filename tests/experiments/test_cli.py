@@ -3,6 +3,13 @@
 import pytest
 
 from repro.cli import build_parser, main
+from repro.experiments import CACHE_DIR_ENV
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Keep CLI runs (which cache by default) out of the working tree."""
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "cache"))
 
 
 class TestParser:
@@ -51,6 +58,48 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "RepRate" in out
         assert "mean_failure_rate" in out
+
+
+class TestEngineFlags:
+    def test_jobs_and_cache_flags_parse(self):
+        args = build_parser().parse_args(
+            ["figure", "4", "--jobs", "4", "--no-cache",
+             "--cache-dir", "/tmp/somewhere"]
+        )
+        assert args.jobs == 4
+        assert args.no_cache is True
+        assert args.cache_dir == "/tmp/somewhere"
+
+    def test_engine_flags_on_every_cell_command(self):
+        for argv in (
+            ["run", "--jobs", "2"],
+            ["compare", "--jobs", "2"],
+            ["figure", "3", "--jobs", "2"],
+            ["sweep", "--jobs", "2"],
+        ):
+            assert build_parser().parse_args(argv).jobs == 2
+
+    def test_second_run_served_from_cache(self, capsys):
+        argv = ["run", "--scheduler", "ApplyAll", "--intervals", "3",
+                "--warmup", "1", "--load", "low"]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert "1 executed" in first.err
+        assert main(argv) == 0
+        second = capsys.readouterr()
+        assert "1 cached, 0 executed" in second.err
+        assert "1 hit(s)" in second.err
+        # Cached and fresh runs print identical results.
+        assert first.out == second.out
+
+    def test_no_cache_always_executes(self, capsys):
+        argv = ["run", "--scheduler", "ApplyAll", "--intervals", "3",
+                "--warmup", "1", "--load", "low", "--no-cache"]
+        for _ in range(2):
+            assert main(argv) == 0
+            err = capsys.readouterr().err
+            assert "1 executed" in err
+            assert "cache disabled" in err
 
 
 class TestSweepCommand:

@@ -1,0 +1,189 @@
+"""Tests for the parallel execution engine and the result cache.
+
+The two load-bearing guarantees: ``jobs=4`` must reproduce ``jobs=1``
+bit-for-bit (summaries *and* interval series), and a cache round-trip
+must reproduce the exact result object.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import (
+    CACHE_DIR_ENV,
+    CellReport,
+    ResultCache,
+    config_key,
+    default_cache_dir,
+    resolve_jobs,
+    run_cells,
+    run_experiment,
+    sweep_seeds,
+)
+from repro.experiments.figures import _run_cells
+
+from .test_runner import tiny
+
+
+def _tiny_matrix():
+    """Four small, distinct cells."""
+    return [
+        tiny(scheduler=scheduler, measure_intervals=3, warmup_intervals=1)
+        for scheduler in ("ApplyAll", "AfterAll", "Piggyback", "Hybrid")
+    ]
+
+
+def _assert_identical(first, second):
+    """Summaries and full interval series match bit-for-bit."""
+    assert first.summary == second.summary
+    assert len(first.intervals) == len(second.intervals)
+    for a, b in zip(first.intervals, second.intervals):
+        assert dataclasses.asdict(a) == dataclasses.asdict(b)
+
+
+class TestRunCells:
+    def test_results_in_config_order(self):
+        configs = _tiny_matrix()
+        results = run_cells(configs, jobs=1)
+        assert [r.config.scheduler for r in results] == [
+            c.scheduler for c in configs
+        ]
+
+    def test_serial_matches_direct_runner(self):
+        config = tiny(measure_intervals=3, warmup_intervals=1)
+        (via_engine,) = run_cells([config], jobs=1)
+        _assert_identical(via_engine, run_experiment(config))
+
+    def test_parallel_matches_serial_bit_for_bit(self):
+        configs = _tiny_matrix()
+        serial = run_cells(configs, jobs=1)
+        parallel = run_cells(configs, jobs=4)
+        for a, b in zip(serial, parallel):
+            _assert_identical(a, b)
+
+    def test_progress_fires_in_config_order(self):
+        configs = _tiny_matrix()
+        seen = []
+        run_cells(configs, jobs=1, progress=lambda c: seen.append(c.scheduler))
+        assert seen == [c.scheduler for c in configs]
+
+    def test_report_counts_executions(self):
+        report = CellReport()
+        run_cells(_tiny_matrix()[:2], jobs=1, report=report)
+        assert report.total == 2
+        assert report.executed == 2
+        assert report.cache_hits == 0
+        assert report.cache_misses == 2
+        assert report.wall_clock_s > 0
+
+    def test_resolve_jobs(self):
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(0) >= 1
+        assert resolve_jobs(-2) >= 1
+
+
+class TestResultCache:
+    def test_round_trip_reproduces_exact_result(self, tmp_path):
+        config = tiny(measure_intervals=3, warmup_intervals=1)
+        cache = ResultCache(tmp_path)
+        result = run_experiment(config)
+        cache.put(config, result)
+        restored = cache.get(config)
+        assert restored == result  # dataclass equality over every field
+
+    def test_second_batch_served_entirely_from_cache(self, tmp_path):
+        configs = _tiny_matrix()
+        cache = ResultCache(tmp_path)
+        cold_report = CellReport()
+        cold = run_cells(configs, cache=cache, report=cold_report)
+        assert cold_report.executed == len(configs)
+
+        warm_report = CellReport()
+        executed = []
+        warm = run_cells(
+            configs,
+            cache=cache,
+            progress=lambda c: executed.append(c),
+            report=warm_report,
+        )
+        assert executed == []  # zero simulations ran
+        assert warm_report.executed == 0
+        assert warm_report.cache_hits == len(configs)
+        for a, b in zip(cold, warm):
+            _assert_identical(a, b)
+
+    def test_key_is_stable_and_config_sensitive(self):
+        config = tiny(measure_intervals=3, warmup_intervals=1)
+        assert config_key(config) == config_key(config)
+        assert config_key(config) != config_key(
+            config.with_overrides(seed=99)
+        )
+        assert config_key(config) != config_key(
+            config.with_overrides(scheduler="AfterAll")
+        )
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        config = tiny(measure_intervals=3, warmup_intervals=1)
+        cache = ResultCache(tmp_path)
+        cache.put(config, run_experiment(config))
+        cache.path_for(config).write_text("{not json")
+        assert cache.get(config) is None
+        assert cache.misses == 1
+
+    def test_unwritable_directory_does_not_raise(self, tmp_path):
+        config = tiny(measure_intervals=3, warmup_intervals=1)
+        result = run_experiment(config)
+        blocked = tmp_path / "file-not-dir"
+        blocked.write_text("")
+        cache = ResultCache(blocked / "cache")
+        cache.put(config, result)  # must swallow the write failure
+        assert cache.get(config) is None
+        assert cache.misses == 1
+
+    def test_env_var_overrides_default_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "elsewhere"))
+        assert default_cache_dir() == tmp_path / "elsewhere"
+        assert ResultCache().directory == tmp_path / "elsewhere"
+        monkeypatch.delenv(CACHE_DIR_ENV)
+        assert str(default_cache_dir()) == ".repro-cache"
+
+
+class TestIntegration:
+    def test_figure_cells_parallel_matches_serial(self):
+        def factory(scheduler, distribution, load, alpha, seed):
+            return tiny(
+                scheduler=scheduler,
+                distribution=distribution,
+                load=load,
+                alpha=alpha,
+                seed=seed,
+                measure_intervals=3,
+                warmup_intervals=1,
+            )
+
+        kwargs = dict(
+            schedulers=("ApplyAll", "Hybrid"),
+            config_factory=factory,
+        )
+        serial = _run_cells("F", "zipf", "low", (1.0, 0.6), jobs=1, **kwargs)
+        parallel = _run_cells("F", "zipf", "low", (1.0, 0.6), jobs=4, **kwargs)
+        assert set(serial.runs) == set(parallel.runs)
+        for cell, result in serial.runs.items():
+            _assert_identical(result, parallel.runs[cell])
+
+    def test_sweep_parallel_matches_serial(self):
+        config = tiny(measure_intervals=3, warmup_intervals=1)
+        serial = sweep_seeds(config, seeds=(1, 2, 3), jobs=1)
+        parallel = sweep_seeds(config, seeds=(1, 2, 3), jobs=3)
+        for a, b in zip(serial.results, parallel.results):
+            _assert_identical(a, b)
+
+    def test_sweep_uses_cache(self, tmp_path):
+        config = tiny(measure_intervals=3, warmup_intervals=1)
+        cache = ResultCache(tmp_path)
+        sweep_seeds(config, seeds=(1, 2), cache=cache)
+        report = CellReport()
+        sweep_seeds(config, seeds=(1, 2), cache=cache, report=report)
+        assert report.executed == 0
+        assert report.cache_hits == 2

@@ -29,6 +29,37 @@ class TestMetricStats:
         with pytest.raises(ValueError):
             MetricStats.from_values([])
 
+    def test_population_and_sample_std_pinned(self):
+        """Both deviations on a known sample (n=8, mean=5, Σ(v-μ)²=32)."""
+        values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        stats = MetricStats.from_values(values)
+        assert stats.mean == 5.0
+        assert stats.std == pytest.approx(2.0)  # sqrt(32 / 8)
+        assert stats.sample_std == pytest.approx(2.13808993529939)  # sqrt(32/7)
+        assert stats.sample_std > stats.std
+
+    def test_single_sample_has_zero_sample_std(self):
+        assert MetricStats.from_values([4.0]).sample_std == 0.0
+
+    def test_comparison_table_quotes_sample_std(self):
+        from repro.experiments.sweeps import (
+            SweepResult,
+            format_sweep_comparison,
+        )
+
+        class _Fake(SweepResult):
+            def stats(self, metric):
+                return MetricStats.from_values([1.0, 3.0])
+
+            def completion_fraction(self):
+                return 1.0
+
+        text = format_sweep_comparison(
+            {"X": _Fake(config=None)}, metrics=("m",)
+        )
+        # sample std of [1, 3] is sqrt(2) ≈ 1.41; population std is 1.00.
+        assert "2.00 ± 1.41" in text
+
 
 class TestSweep:
     @pytest.fixture(scope="class")

@@ -81,3 +81,43 @@ class TestResultExport:
     def test_unknown_extension_rejected(self, result):
         with pytest.raises(ValueError):
             save_result(result, "out.parquet")
+
+
+class TestStateRoundTrip:
+    """Full-fidelity serialisation backing the experiment result cache."""
+
+    def test_interval_state_round_trips(self, result):
+        from dataclasses import asdict
+
+        from repro.metrics import (
+            interval_from_state_dict,
+            interval_to_state_dict,
+        )
+
+        for record in result.intervals:
+            rebuilt = interval_from_state_dict(
+                json.loads(json.dumps(interval_to_state_dict(record)))
+            )
+            assert asdict(rebuilt) == asdict(record)
+
+    def test_state_fields_cover_every_raw_field(self):
+        from dataclasses import fields
+
+        from repro.metrics import INTERVAL_STATE_FIELDS
+
+        assert set(INTERVAL_STATE_FIELDS) == {
+            f.name for f in fields(IntervalRecord)
+        }
+        # The derived latency samples survive, unlike the export columns.
+        assert "latencies" in INTERVAL_STATE_FIELDS
+        assert "latencies" not in INTERVAL_FIELDS
+
+    def test_result_state_round_trips_through_json(self, result):
+        from repro.metrics import (
+            result_from_state_dict,
+            result_to_state_dict,
+        )
+
+        payload = json.loads(json.dumps(result_to_state_dict(result)))
+        rebuilt = result_from_state_dict(payload, result.config)
+        assert rebuilt == result

@@ -175,6 +175,19 @@ class TestMetricsCollector:
         env.run(until=20)
         assert [r.queue_length_end for r in collector.intervals] == [5, 9]
 
+    def test_queue_probe_wired_after_construction(self, env):
+        """The TM is built after the collector; the probe arrives late."""
+        collector = MetricsCollector(env, interval_s=10.0)
+        values = iter([3, 7])
+        collector.set_queue_length_probe(lambda: next(values))
+        env.run(until=20)
+        assert [r.queue_length_end for r in collector.intervals] == [3, 7]
+
+    def test_non_callable_probe_rejected(self, env):
+        collector = MetricsCollector(env, interval_s=10.0)
+        with pytest.raises(TypeError):
+            collector.set_queue_length_probe(42)
+
     def test_invalid_interval_rejected(self, env):
         with pytest.raises(ValueError):
             MetricsCollector(env, interval_s=0)

@@ -115,3 +115,71 @@ class TestStep:
         assert env.peek() == float("inf")
         env.timeout(7)
         assert env.peek() == 7.0
+
+    def test_failed_timeout_popped_exactly_once(self, env):
+        """Regression: failing a Timeout must not heap it a second time."""
+        timeout = env.timeout(5.0)
+        fired = []
+        timeout.callbacks.append(lambda _ev: fired.append(env.now))
+        timeout.fail(RuntimeError("boom"))
+        timeout.defused = True
+        pops = 0
+        while True:
+            try:
+                env.step()
+            except EmptySchedule:
+                break
+            pops += 1
+        assert pops == 1
+        assert fired == [5.0]
+
+    def test_failed_timeout_still_escalates_when_undefused(self, env):
+        timeout = env.timeout(2.0)
+        timeout.fail(RuntimeError("boom"))
+        with pytest.raises(RuntimeError, match="boom"):
+            env.run()
+        # The failure was delivered by the single heap entry; nothing is
+        # left behind to re-raise on a subsequent run.
+        env.run()
+
+
+class TestRunIntervals:
+    def test_advances_exactly_interval_times_count(self, env):
+        env.run_intervals(20.0, 5)
+        assert env.now == 100.0
+
+    def test_matches_repeated_run_calls(self):
+        def simulate(batched):
+            env = Environment()
+            log = []
+
+            def proc(name, delay):
+                yield env.timeout(delay)
+                log.append((env.now, name))
+
+            for i in range(10):
+                env.process(proc(f"p{i}", (i * 13) % 50))
+            if batched:
+                env.run_intervals(10.0, 5)
+            else:
+                for k in range(1, 6):
+                    env.run(until=10.0 * k)
+            return log, env.now
+
+        assert simulate(True) == simulate(False)
+
+    def test_on_interval_called_at_each_boundary(self, env):
+        seen = []
+
+        def proc():
+            yield env.timeout(25)
+
+        env.process(proc())
+        env.run_intervals(10.0, 3, on_interval=lambda i: seen.append((i, env.now)))
+        assert seen == [(0, 10.0), (1, 20.0), (2, 30.0)]
+
+    def test_rejects_bad_arguments(self, env):
+        with pytest.raises(ValueError):
+            env.run_intervals(0.0, 3)
+        with pytest.raises(ValueError):
+            env.run_intervals(1.0, -1)

@@ -311,3 +311,33 @@ class TestConditions:
         condition = env.any_of([done, env.timeout(100)])
         assert condition.triggered
         assert list(condition.value.values()) == ["early"]
+
+
+class TestSlots:
+    """The kernel classes are __slots__-only (no per-instance __dict__)."""
+
+    def test_kernel_events_have_no_dict(self, env):
+        def proc():
+            yield env.timeout(1)
+
+        for instance in (
+            env.event(),
+            env.timeout(3),
+            env.process(proc()),
+            env.all_of([env.timeout(1)]),
+            env.any_of([env.timeout(1)]),
+        ):
+            assert not hasattr(instance, "__dict__")
+        env.run()
+
+    def test_subclasses_may_still_add_attributes(self, env):
+        class Tagged(Event):
+            pass
+
+        tagged = Tagged(env)
+        tagged.tag = "ok"
+        assert tagged.tag == "ok"
+
+    def test_timeout_flag_replaces_isinstance(self, env):
+        assert env.timeout(1)._is_timeout
+        assert not env.event()._is_timeout
