@@ -21,6 +21,7 @@ from . import (
     control,
     core,
     experiments,
+    faults,
     locking,
     metrics,
     partitioning,
@@ -33,12 +34,21 @@ from . import (
 from .errors import (
     ConfigError,
     DeadlockAbort,
+    InjectedFault,
     LockTimeout,
+    NodeDownError,
     PartitioningError,
     ReproError,
     RoutingError,
     StorageError,
     TransactionAborted,
+    TwoPhaseAbort,
+)
+from .faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultScheduleConfig,
+    parse_fault_schedule,
 )
 from .types import AccessMode, Priority, TxnKind, TxnStatus
 
@@ -48,13 +58,19 @@ __all__ = [
     "AccessMode",
     "ConfigError",
     "DeadlockAbort",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultScheduleConfig",
+    "InjectedFault",
     "LockTimeout",
+    "NodeDownError",
     "PartitioningError",
     "Priority",
     "ReproError",
     "RoutingError",
     "StorageError",
     "TransactionAborted",
+    "TwoPhaseAbort",
     "TxnKind",
     "TxnStatus",
     "__version__",
@@ -62,7 +78,9 @@ __all__ = [
     "control",
     "core",
     "experiments",
+    "faults",
     "locking",
+    "parse_fault_schedule",
     "metrics",
     "partitioning",
     "routing",

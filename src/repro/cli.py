@@ -109,6 +109,14 @@ def _add_cell_arguments(
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--intervals", type=int, default=40)
     parser.add_argument("--warmup", type=int, default=5)
+    parser.add_argument(
+        "--fault-schedule", default=None, metavar="SCHEDULE",
+        help=(
+            "inject node crashes: either TIME:ACTION:NODE events "
+            "('120:crash:2,180:restart:2') or MTBF/MTTR "
+            "('mtbf=300,mttr=30[,start=S][,end=E]')"
+        ),
+    )
 
 
 def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
@@ -148,6 +156,11 @@ def _print_report(report: CellReport, cache: Optional[ResultCache]) -> None:
 
 
 def _cell_config(args: argparse.Namespace, scheduler: Optional[str] = None):
+    faults = None
+    if getattr(args, "fault_schedule", None):
+        from .faults import parse_fault_schedule
+
+        faults = parse_fault_schedule(args.fault_schedule)
     return bench_scale(
         scheduler=scheduler or args.scheduler,
         distribution=args.distribution,
@@ -156,6 +169,7 @@ def _cell_config(args: argparse.Namespace, scheduler: Optional[str] = None):
         seed=args.seed,
         measure_intervals=args.intervals,
         warmup_intervals=args.warmup,
+        faults=faults,
     )
 
 

@@ -12,6 +12,15 @@ server holding one data partition.  A node bundles:
 Optionally a *capacity noise* process perturbs the node's service rate
 over time, reproducing the cloud-environment capacity fluctuations the
 paper's feedback controller is designed to absorb (§3.3).
+
+Crash/restart semantics: :meth:`crash` is legal at any instant,
+including under in-flight transactions — pending lock waits and queued
+or in-service jobs fail with :class:`~repro.errors.NodeDownError`
+(in-service jobs require :meth:`enable_fault_injection` first), the
+volatile store and lock table are lost, and the capacity-noise process
+pauses.  :meth:`restart` runs the recovery driver: replay the WAL,
+checkpoint + truncate it when quiescent, restore the base service rate,
+resume capacity noise, and rejoin the cluster.
 """
 
 from __future__ import annotations
@@ -19,9 +28,10 @@ from __future__ import annotations
 import random
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
+from ..errors import NodeDownError
 from ..locking.deadlock import DeadlockDetector
 from ..locking.lock_manager import LockManager
-from ..sim.events import Event
+from ..sim.events import Event, Interrupt
 from ..sim.resources import Resource, WorkServer
 from ..storage.partition_store import PartitionStore
 from ..types import NodeId, PartitionId
@@ -56,7 +66,12 @@ class DataNode:
         #: ``True`` while crashed (between :meth:`crash` and :meth:`restart`).
         self.is_down = False
         self.crash_count = 0
+        self.total_down_time_s = 0.0
+        self._down_since: Optional[float] = None
         self._noise_process = None
+        self._noise_config: Optional[
+            tuple[random.Random, float, float, float]
+        ] = None
 
     def enable_wal(self) -> "WriteAheadLog":
         """Attach a write-ahead log; the executor journals through it."""
@@ -66,40 +81,84 @@ class DataNode:
             self.wal = WriteAheadLog(self.partition_id)
         return self.wal
 
+    def enable_fault_injection(self) -> None:
+        """Prepare this node for mid-flight crashes.
+
+        Makes the WAL the mandatory write path (attaching one and
+        checkpointing the current store contents so pre-existing data
+        survives a crash) and makes the work server interruptible so
+        in-service jobs die with the node instead of completing on
+        phantom capacity.
+        """
+        wal = self.enable_wal()
+        if not wal.open_transactions:
+            wal.log_checkpoint(self.store)
+        self.server.make_interruptible()
+
     # ------------------------------------------------------------------
-    # Crash / restart (failure injection between transactions)
+    # Crash / restart (failure injection, including mid-transaction)
     # ------------------------------------------------------------------
     def crash(self) -> None:
         """Lose all volatile state: store contents and lock table.
 
         The write-ahead log (if enabled) survives, as durable storage
-        would.  Intended for failure injection *between* transactions;
-        crashing under in-flight transactions is outside the executor's
-        supported envelope (as it would be for the paper's prototype
-        without XA recovery).
+        would.  Legal under in-flight transactions: every pending lock
+        wait and queued job fails with
+        :class:`~repro.errors.NodeDownError` immediately, and in-service
+        jobs are killed too when :meth:`enable_fault_injection` was
+        called.  The capacity-noise process (if any) is paused so a dead
+        node's service rate stops fluctuating.
         """
         if self.is_down:
             raise RuntimeError(f"node {self.node_id} is already down")
         self.is_down = True
         self.crash_count += 1
+        self._down_since = self.env.now
+        self._pause_capacity_noise()
+        # Wake everyone parked on this node before discarding the lock
+        # table: events inside the old table would otherwise dangle
+        # forever and deadlock the simulation.
+        self.locks.fail_all_waiters(
+            lambda txn_id, _key: NodeDownError(self.node_id, txn_id)
+        )
+        self.server.fail_all(lambda: NodeDownError(self.node_id))
+        self.connections.fail_waiting(lambda: NodeDownError(self.node_id))
         self.store = PartitionStore(self.partition_id)
         self.locks = LockManager(
             self.env, self.locks.detector, name=f"node{self.node_id}"
         )
 
     def restart(self) -> "PartitionStore":
-        """Come back up, recovering the store from the WAL if present."""
+        """Recovery driver: replay the WAL, compact it, rejoin.
+
+        The store is rebuilt from the log (committed effects only);
+        when no distributed transaction still has an open BEGIN in the
+        log, a fresh checkpoint is taken and older records truncated so
+        the log does not grow without bound across crash cycles.  The
+        service rate returns to ``base_rate`` and capacity noise, if it
+        was running at crash time, resumes.
+        """
         if not self.is_down:
             raise RuntimeError(f"node {self.node_id} is not down")
         if self.wal is not None:
             from ..storage.wal import recover
 
             self.store = recover(self.wal)
+            if not self.wal.open_transactions:
+                self.wal.log_checkpoint(self.store)
+                self.wal.truncate_before_checkpoint()
         self.is_down = False
+        if self._down_since is not None:
+            self.total_down_time_s += self.env.now - self._down_since
+            self._down_since = None
+        self.server.rate = self.base_rate
+        self._resume_capacity_noise()
         return self.store
 
     def work(self, units: float) -> Generator[Event, Any, None]:
         """Process generator: consume ``units`` of this node's capacity."""
+        if self.is_down:
+            raise NodeDownError(self.node_id)
         yield from self.server.work(units)
 
     # ------------------------------------------------------------------
@@ -122,14 +181,39 @@ class DataNode:
             raise RuntimeError(f"capacity noise already running on {self!r}")
         if interval_s <= 0:
             raise ValueError(f"noise interval must be positive: {interval_s}")
+        self._noise_config = (rng, interval_s, relative_sigma, floor_fraction)
 
         def noise() -> Generator[Event, Any, None]:
-            while True:
-                yield self.env.timeout(interval_s)
-                factor = max(floor_fraction, rng.gauss(1.0, relative_sigma))
-                self.server.rate = self.base_rate * factor
+            try:
+                while True:
+                    yield self.env.timeout(interval_s)
+                    factor = max(
+                        floor_fraction, rng.gauss(1.0, relative_sigma)
+                    )
+                    self.server.rate = self.base_rate * factor
+            except Interrupt:
+                return
 
         self._noise_process = self.env.process(noise())
+
+    def stop_capacity_noise(self) -> None:
+        """Stop the noise process and restore the base service rate."""
+        self._pause_capacity_noise()
+        self._noise_config = None
+        self.server.rate = self.base_rate
+
+    def _pause_capacity_noise(self) -> None:
+        """Halt noise ticks (node down); the config survives for resume."""
+        process = self._noise_process
+        self._noise_process = None
+        if process is not None and process.is_alive:
+            process.interrupt("node down")
+
+    def _resume_capacity_noise(self) -> None:
+        if self._noise_config is not None and self._noise_process is None:
+            rng, interval_s, sigma, floor = self._noise_config
+            self._noise_config = None
+            self.start_capacity_noise(rng, interval_s, sigma, floor)
 
     def __repr__(self) -> str:
         return (

@@ -15,6 +15,7 @@ output is also exposed for callers that want the textbook form.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 
 @dataclass
@@ -29,7 +30,9 @@ class PIDController:
     integral_limit: float = float("inf")
 
     _integral: float = field(default=0.0, repr=False)
-    _previous_error: float = field(default=None, repr=False)  # type: ignore[assignment]
+    #: ``None`` until the first :meth:`update`, so the first step has no
+    #: derivative history (its derivative term is defined as zero).
+    _previous_error: Optional[float] = field(default=None, repr=False)
     _last_output: float = field(default=0.0, repr=False)
 
     def __post_init__(self) -> None:
@@ -73,5 +76,5 @@ class PIDController:
     def reset(self) -> None:
         """Clear accumulated state (integral, derivative history)."""
         self._integral = 0.0
-        self._previous_error = None  # type: ignore[assignment]
+        self._previous_error = None
         self._last_output = 0.0

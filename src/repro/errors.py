@@ -28,7 +28,13 @@ class TransactionAborted(ReproError):
 
     Raised *inside* transaction executor processes; the transaction
     manager catches it, releases resources, and records the failure.
+
+    ``cause`` is a stable machine-readable category (one per subclass)
+    used by the aborts-by-cause metric; the free-text ``reason`` stays
+    human-oriented.
     """
+
+    cause = "other"
 
     def __init__(self, txn_id: int, reason: str) -> None:
         super().__init__(f"transaction {txn_id} aborted: {reason}")
@@ -38,6 +44,8 @@ class TransactionAborted(ReproError):
 
 class LockTimeout(TransactionAborted):
     """A lock wait exceeded the configured timeout."""
+
+    cause = "lock_timeout"
 
     def __init__(self, txn_id: int, key: object, wait_s: float) -> None:
         TransactionAborted.__init__(
@@ -50,8 +58,58 @@ class LockTimeout(TransactionAborted):
 class DeadlockAbort(TransactionAborted):
     """The deadlock detector chose this transaction as the victim."""
 
+    cause = "deadlock"
+
     def __init__(self, txn_id: int, cycle: tuple[int, ...]) -> None:
         TransactionAborted.__init__(
             self, txn_id, f"deadlock victim in cycle {cycle}"
         )
         self.cycle = cycle
+
+
+class NodeDownError(TransactionAborted):
+    """A transaction touched a crashed data node.
+
+    Raised on the spot when a transaction tries to lock or work on a
+    node that is down, and injected into lock waits and in-service jobs
+    when a node crashes under in-flight transactions.  The transaction
+    manager treats it as retryable: the victim is re-enqueued with
+    exponential backoff until its attempt budget runs out.
+    """
+
+    cause = "node_down"
+
+    def __init__(self, node_id: int, txn_id: int = -1) -> None:
+        TransactionAborted.__init__(
+            self, txn_id, f"node {node_id} is down"
+        )
+        self.node_id = node_id
+
+
+class TwoPhaseAbort(TransactionAborted):
+    """A 2PC round ended in abort (NO votes, unreachable participants)."""
+
+    cause = "2pc_abort"
+
+    def __init__(
+        self,
+        txn_id: int,
+        no_votes: tuple[int, ...],
+        down: tuple[int, ...] = (),
+        timed_out: bool = False,
+    ) -> None:
+        detail = f"2PC participant(s) {no_votes} voted no"
+        if down:
+            detail += f" (down: {down})"
+        if timed_out:
+            detail += " [phase timeout]"
+        TransactionAborted.__init__(self, txn_id, detail)
+        self.no_votes = no_votes
+        self.down = down
+        self.timed_out = timed_out
+
+
+class InjectedFault(TransactionAborted):
+    """A configured failure-injection coin flip aborted the transaction."""
+
+    cause = "injected"

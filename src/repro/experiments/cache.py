@@ -36,7 +36,9 @@ if TYPE_CHECKING:  # pragma: no cover
 
 #: Bump whenever the cached layout or the simulation semantics change;
 #: old entries then miss instead of resurrecting stale results.
-CACHE_SCHEMA_VERSION = 1
+#: v2: fault injection (IntervalRecord gained aborted_by_cause/retries/
+#: degradation fields; retry timing switched to exponential backoff).
+CACHE_SCHEMA_VERSION = 2
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"

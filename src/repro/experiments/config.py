@@ -25,6 +25,7 @@ from typing import Optional
 
 from ..cluster.cluster import ClusterConfig
 from ..errors import ConfigError
+from ..faults import FaultScheduleConfig
 from ..workload.generator import (
     PAPER_TUPLE_COUNT,
     PAPER_UNIFORM_TYPES,
@@ -76,6 +77,12 @@ class RuntimeConfig:
     isolation: str = "read_committed"
     #: Fixed per-transaction begin/commit work (granularity ablation).
     per_txn_overhead_units: float = 0.0
+    #: Retry backoff policy (used heavily under fault injection; the
+    #: defaults reproduce the fixed-delay behaviour for fault-free runs
+    #: with the standard two-attempt budget).
+    retry_backoff_factor: float = 2.0
+    max_retry_delay_s: float = 10.0
+    retry_jitter: float = 0.0
 
     def __post_init__(self) -> None:
         if self.interval_s <= 0:
@@ -123,6 +130,9 @@ class ExperimentConfig:
     cost: CostConfig = field(default_factory=CostConfig)
     runtime: RuntimeConfig = field(default_factory=RuntimeConfig)
     scheduling: SchedulerConfig = field(default_factory=SchedulerConfig)
+    #: Optional crash/restart schedule; ``None`` (or a schedule with
+    #: nothing in it) runs fault-free with zero overhead.
+    faults: Optional[FaultScheduleConfig] = None
 
     def __post_init__(self) -> None:
         if self.scheduler not in SCHEDULER_NAMES:
@@ -157,6 +167,7 @@ def bench_scale(
     seed: int = 0,
     measure_intervals: int = 40,
     warmup_intervals: int = 5,
+    faults: Optional[FaultScheduleConfig] = None,
 ) -> ExperimentConfig:
     """The scaled-down preset the benchmark harness uses."""
     # Type counts mirror the paper's 30,000 (uniform) vs 23,457 (Zipf)
@@ -183,6 +194,7 @@ def bench_scale(
         alpha=alpha,
         workload=workload,
         runtime=runtime,
+        faults=faults,
     )
 
 

@@ -25,6 +25,7 @@ from ..core.schedulers import (
 )
 from ..core.session import RepartitionSession
 from ..errors import ConfigError
+from ..faults import FaultInjector
 from ..metrics.collectors import IntervalRecord, MetricsCollector
 from ..metrics.report import summarise
 from ..partitioning.cost_model import CostModel
@@ -74,6 +75,7 @@ class System:
     arrival_rate_txn_per_s: float
     scheduler: Optional[Scheduler] = None
     session: Optional[RepartitionSession] = None
+    fault_injector: Optional[FaultInjector] = None
 
 
 @dataclass
@@ -188,12 +190,32 @@ def build_system(config: ExperimentConfig) -> System:
             max_concurrent=config.runtime.max_concurrent,
             max_attempts=config.runtime.max_attempts,
             retry_delay_s=config.runtime.retry_delay_s,
+            retry_backoff_factor=config.runtime.retry_backoff_factor,
+            max_retry_delay_s=config.runtime.max_retry_delay_s,
+            retry_jitter=config.runtime.retry_jitter,
             queue_timeout_s=config.runtime.queue_timeout_s,
         ),
+        rng=streams.stream("retry-jitter"),
     )
     # The TM needs the collector at construction and the collector probes
     # the TM's queue, so the probe is wired second.
     metrics.set_queue_length_probe(lambda: len(tm.queue))
+
+    fault_injector = None
+    if config.faults is not None and config.faults.enabled:
+        # Fault injection makes the WAL the mandatory write path (the
+        # initial dataset is checkpointed so it survives a crash) and
+        # in-service jobs killable.
+        for node in cluster.nodes:
+            node.enable_fault_injection()
+        fault_injector = FaultInjector(
+            env,
+            cluster,
+            config.faults,
+            rng=streams.stream("faults"),
+            metrics=metrics,
+        )
+        fault_injector.start()
 
     expected_cost = cost_model.expected_cost_per_txn(profile.types, pmap)
     rate = calibrate_rate(
@@ -233,6 +255,7 @@ def build_system(config: ExperimentConfig) -> System:
         arrivals=arrivals,
         repartitioner=repartitioner,
         arrival_rate_txn_per_s=rate,
+        fault_injector=fault_injector,
     )
 
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 import enum
 from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from ..errors import DeadlockAbort
 from ..sim.events import Event
@@ -201,6 +201,33 @@ class LockManager:
             self.release(txn_id, key)
         if self.detector is not None:
             self.detector.remove_transaction(txn_id)
+
+    def fail_all_waiters(
+        self, make_exc: Callable[[TxnId, TupleKey], BaseException]
+    ) -> int:
+        """Fail every pending lock request (the node crashed).
+
+        Each waiter's event fails with ``make_exc(txn_id, key)``, which
+        the waiting transaction's process receives at its yield point.
+        Holders are left alone — crash handling wipes the whole lock
+        table afterwards, and the holders' processes are aborted through
+        the work-server and 2PC channels.  Returns the number of waits
+        failed.
+        """
+        failed = 0
+        for key in list(self._table):
+            entry = self._table.get(key)
+            if entry is None:
+                continue
+            waiters, entry.waiters = list(entry.waiters), deque()
+            for waiter in waiters:
+                self._end_wait(waiter.txn_id, key)
+                if not waiter.event.triggered:
+                    waiter.event.fail(make_exc(waiter.txn_id, key))
+                failed += 1
+            if entry.is_idle():
+                self._table.pop(key, None)
+        return failed
 
     # ------------------------------------------------------------------
     # Internals

@@ -37,6 +37,17 @@ class IntervalRecord:
     submitted: int = 0
     committed: int = 0
     aborted: int = 0
+    #: Aborts this interval keyed by machine-readable cause
+    #: (``TransactionAborted.cause``: deadlock, lock_timeout, node_down,
+    #: 2pc_abort, injected, queue_timeout, other).
+    aborted_by_cause: dict[str, int] = field(default_factory=dict)
+    #: Aborted transactions re-enqueued for another attempt.
+    retries: int = 0
+    #: Virtual seconds of this interval during which >= 1 node was down.
+    degraded_s: float = 0.0
+    #: Normal commits that happened while >= 1 node was down (goodput
+    #: during degradation).
+    committed_degraded: int = 0
 
     normal_submitted: int = 0
     normal_committed: int = 0
@@ -84,6 +95,13 @@ class IntervalRecord:
     def mean_latency_ms(self) -> float:
         """Mean latency in milliseconds (the paper's unit)."""
         return self.mean_latency_s * 1000.0
+
+    @property
+    def goodput_degraded_txn_per_min(self) -> float:
+        """Normal commits per minute of node-down time this interval."""
+        if self.degraded_s <= 0:
+            return 0.0
+        return self.committed_degraded * 60.0 / self.degraded_s
 
     @property
     def failure_rate(self) -> float:
@@ -151,6 +169,10 @@ class MetricsCollector:
         #: is how the repartition schedulers observe the system without
         #: racing the collector's own clock.
         self.interval_observers: list[Callable[[IntervalRecord], None]] = []
+        #: Nodes currently down (fault injection); drives the
+        #: goodput-during-degradation accounting.
+        self._down_nodes: set[int] = set()
+        self._degraded_since: Optional[float] = None
         self._current = IntervalRecord(index=0, start=env.now, end=env.now)
         self._ticker = env.process(self._tick_loop())
 
@@ -168,6 +190,8 @@ class MetricsCollector:
         self._current.committed += 1
         if txn.is_normal:
             self._current.normal_committed += 1
+            if self._down_nodes:
+                self._current.committed_degraded += 1
             latency = txn.latency
             if latency is not None:
                 self._current.latency_sum += latency
@@ -186,10 +210,33 @@ class MetricsCollector:
     def record_aborted(self, txn: Transaction) -> None:
         """A transaction aborted."""
         self._current.aborted += 1
+        cause = txn.abort_cause or "other"
+        by_cause = self._current.aborted_by_cause
+        by_cause[cause] = by_cause.get(cause, 0) + 1
         if txn.is_normal:
             self._current.normal_aborted += 1
         else:
             self._current.rep_aborted += 1
+
+    def record_retry(self, txn: Transaction) -> None:
+        """An aborted transaction was re-enqueued for another attempt."""
+        self._current.retries += 1
+
+    # ------------------------------------------------------------------
+    # Fault-injection notifications (degradation accounting)
+    # ------------------------------------------------------------------
+    def note_node_down(self, node_id: int) -> None:
+        """A node crashed; start (or continue) the degraded clock."""
+        if not self._down_nodes:
+            self._degraded_since = self.env.now
+        self._down_nodes.add(node_id)
+
+    def note_node_up(self, node_id: int) -> None:
+        """A node restarted; stop the degraded clock when none are down."""
+        self._down_nodes.discard(node_id)
+        if not self._down_nodes and self._degraded_since is not None:
+            self._current.degraded_s += self.env.now - self._degraded_since
+            self._degraded_since = None
 
     def set_queue_length_probe(self, probe: Callable[[], int]) -> None:
         """Wire (or replace) the queue-length probe after construction."""
@@ -226,6 +273,11 @@ class MetricsCollector:
     def _close_interval(self) -> None:
         record = self._current
         record.end = self.env.now
+        if self._degraded_since is not None:
+            # Flush the open degraded stretch into this interval and
+            # restart the clock so the next interval gets the rest.
+            record.degraded_s += self.env.now - self._degraded_since
+            self._degraded_since = self.env.now
         record.rep_ops_applied_cumulative = self.rep_ops_applied
         record.rep_ops_total = self.rep_ops_total
         if self.queue_length_probe is not None:

@@ -37,6 +37,9 @@ INTERVAL_FIELDS = (
     "rep_cost_low",
     "rep_cost_piggyback",
     "queue_length_end",
+    "retries",
+    "degraded_s",
+    "committed_degraded",
     # Derived series (the paper's y-axes):
     "rep_rate",
     "throughput_txn_per_min",

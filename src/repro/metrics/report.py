@@ -109,7 +109,7 @@ def format_sparkline_panel(
 
 def summarise(intervals: Sequence[IntervalRecord]) -> dict[str, float]:
     """Whole-run summary statistics for one experiment."""
-    return {
+    summary = {
         "mean_throughput_txn_per_min": mean(
             series(intervals, "throughput_txn_per_min")
         ),
@@ -122,4 +122,23 @@ def summarise(intervals: Sequence[IntervalRecord]) -> dict[str, float]:
         "total_aborted": float(
             sum(record.aborted for record in intervals)
         ),
+        "total_retries": float(
+            sum(record.retries for record in intervals)
+        ),
+        "total_degraded_s": sum(record.degraded_s for record in intervals),
+        "total_committed_degraded": float(
+            sum(record.committed_degraded for record in intervals)
+        ),
     }
+    for cause in sorted(
+        {c for record in intervals for c in record.aborted_by_cause}
+    ):
+        summary[f"aborted_{cause}"] = float(
+            sum(record.aborted_by_cause.get(cause, 0) for record in intervals)
+        )
+    degraded = summary["total_degraded_s"]
+    if degraded > 0:
+        summary["goodput_degraded_txn_per_min"] = (
+            summary["total_committed_degraded"] * 60.0 / degraded
+        )
+    return summary

@@ -196,6 +196,13 @@ class Process(Event):
     # Internal stepping
     # ------------------------------------------------------------------
     def _resume(self, event: Event) -> None:
+        if self.triggered:
+            # Stale wake-up: the process already finished — e.g. it was
+            # interrupted before its first resume, so the kick-off (or a
+            # pending wait target) still held this callback.
+            if event.failed:
+                event.defused = True
+            return
         self._waiting_on = None
         self._wait_callback = None
         try:

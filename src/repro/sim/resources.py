@@ -12,7 +12,7 @@ Two abstractions are provided:
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING, Any, Generator, Optional
+from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
 
 from .events import Event
 
@@ -88,6 +88,23 @@ class Resource:
         """Withdraw a request (granted or not)."""
         self.release(request)
 
+    def fail_waiting(
+        self, make_exc: Callable[[], BaseException]
+    ) -> int:
+        """Fail every queued (ungranted) request with a fresh exception.
+
+        Used by failure injection: when the resource's owner crashes,
+        processes parked in the wait queue are woken with the supplied
+        error instead of dangling forever.  Granted slots are untouched —
+        their owners are interrupted through other channels and release
+        normally.  Returns the number of requests failed.
+        """
+        waiting, self._waiting = self._waiting, deque()
+        for request in waiting:
+            if not request.triggered:
+                request.fail(make_exc())
+        return len(waiting)
+
     def _grant(self, request: Request) -> None:
         request.granted = True
         self._in_use += 1
@@ -117,6 +134,12 @@ class WorkServer:
         self._resource = Resource(env, concurrency)
         self._busy_until = 0.0
         self._total_busy_time = 0.0
+        #: When ``True`` every in-service job carries a kill event so a
+        #: crash can abort it mid-service.  Off by default: the kill
+        #: plumbing allocates two extra events per job, which the
+        #: fault-free hot path should not pay for.
+        self._interruptible = False
+        self._kills: set[Event] = set()
 
     @property
     def queue_length(self) -> int:
@@ -139,16 +162,53 @@ class WorkServer:
             raise ValueError(f"negative work: {units}")
         return units / self.rate
 
+    @property
+    def interruptible(self) -> bool:
+        """Whether in-service jobs can be killed by :meth:`fail_all`."""
+        return self._interruptible
+
+    def make_interruptible(self) -> None:
+        """Enable mid-service kills (required for in-flight crashes)."""
+        self._interruptible = True
+
     def work(self, units: float) -> Generator[Event, Any, None]:
         """Process generator: queue for a slot, then serve ``units``."""
         request = self._resource.request()
         yield request
+        if not self._interruptible:
+            try:
+                duration = self.service_time(units)
+                self._total_busy_time += duration
+                yield self.env.timeout(duration)
+            finally:
+                self._resource.release(request)
+            return
+        kill = Event(self.env)
+        self._kills.add(kill)
         try:
             duration = self.service_time(units)
             self._total_busy_time += duration
-            yield self.env.timeout(duration)
+            # A failing kill event fails the AnyOf, which raises the
+            # crash exception right here inside the serving process.
+            yield self.env.any_of([self.env.timeout(duration), kill])
         finally:
+            self._kills.discard(kill)
             self._resource.release(request)
+
+    def fail_all(self, make_exc: Callable[[], BaseException]) -> int:
+        """Abort every queued and (if interruptible) in-service job.
+
+        Queued jobs' slot requests fail immediately; in-service jobs'
+        kill events fire, aborting them mid-service.  Returns the number
+        of jobs failed.
+        """
+        failed = self._resource.fail_waiting(make_exc)
+        kills, self._kills = self._kills, set()
+        for kill in kills:
+            if not kill.triggered:
+                kill.fail(make_exc())
+                failed += 1
+        return failed
 
     def utilisation(self, elapsed: Optional[float] = None) -> float:
         """Fraction of elapsed time this server spent busy."""

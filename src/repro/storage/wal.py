@@ -79,6 +79,11 @@ class WriteAheadLog:
         """LSN of the newest record (0 when empty)."""
         return self._records[-1].lsn if self._records else 0
 
+    @property
+    def open_transactions(self) -> frozenset[TxnId]:
+        """Transactions with a BEGIN but no COMMIT/ABORT record yet."""
+        return frozenset(self._open_txns)
+
     # ------------------------------------------------------------------
     # Appending
     # ------------------------------------------------------------------
@@ -138,7 +143,19 @@ class WriteAheadLog:
         return self._append(WalRecordType.ABORT, txn_id)
 
     def log_checkpoint(self, store: PartitionStore) -> WalRecord:
-        """Snapshot the store so recovery can skip older records."""
+        """Snapshot the store so recovery can skip older records.
+
+        Only legal while no transaction is open (a *sharp* checkpoint):
+        the executor applies writes to the store in place before commit,
+        so a snapshot taken mid-transaction would embed uncommitted
+        effects that recovery could then never roll back.
+        """
+        if self._open_txns:
+            raise StorageError(
+                f"cannot checkpoint with open transaction(s) "
+                f"{sorted(self._open_txns)}: the store snapshot would "
+                f"capture their uncommitted writes"
+            )
         snapshot = {
             key: (
                 store.get(key).value,

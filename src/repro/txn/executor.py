@@ -29,7 +29,13 @@ from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
 
 from ..cluster.cluster import Cluster
 from ..cluster.node import DataNode
-from ..errors import LockTimeout, TransactionAborted
+from ..errors import (
+    InjectedFault,
+    LockTimeout,
+    NodeDownError,
+    TransactionAborted,
+    TwoPhaseAbort,
+)
 from ..locking.lock_manager import LockMode
 from ..partitioning.cost_model import CostModel
 from ..partitioning.operations import (
@@ -220,10 +226,20 @@ class TransactionExecutor:
                     self.twopc.commit(COORDINATOR_NODE_ID, participants)
                 )
                 if not outcome.committed:
-                    raise TransactionAborted(
+                    if outcome.down:
+                        raise NodeDownError(outcome.down[0], txn.txn_id)
+                    raise TwoPhaseAbort(
                         txn.txn_id,
-                        f"2PC participant(s) {outcome.no_votes} voted no",
+                        outcome.no_votes,
+                        down=outcome.down,
+                        timed_out=outcome.timed_out,
                     )
+
+            # Last down-check before effects become visible: a node may
+            # have crashed while this transaction was busy elsewhere (or
+            # right after voting YES).  No COMMIT record has been logged
+            # yet, so aborting here is still safe on every node.
+            self._check_touched_alive(txn, touched_nodes)
 
             self._apply_commit_effects(txn, effective_ops, journal)
             journal.close(committed=True)
@@ -236,6 +252,7 @@ class TransactionExecutor:
             journal.close(committed=False)
             txn.status = TxnStatus.ABORTED
             txn.abort_reason = abort.reason
+            txn.abort_cause = abort.cause
             txn.finished_at = self.env.now
             return False
         finally:
@@ -468,10 +485,20 @@ class TransactionExecutor:
             return
         assert self._rng is not None
         if self._rng.random() < self.config.rep_op_failure_probability:
-            raise TransactionAborted(
+            raise InjectedFault(
                 txn.txn_id,
                 f"injected failure executing {op.kind} of tuple {op.key}",
             )
+
+    def _check_touched_alive(
+        self, txn: Transaction, touched_nodes: set[DataNode]
+    ) -> None:
+        """Abort if any node this transaction touched has crashed."""
+        down = sorted(
+            node.node_id for node in touched_nodes if node.is_down
+        )
+        if down:
+            raise NodeDownError(down[0], txn.txn_id)
 
     # ------------------------------------------------------------------
     # Commit / undo
@@ -530,6 +557,8 @@ class TransactionExecutor:
         key: int,
         mode: LockMode,
     ) -> Generator[Event, Any, None]:
+        if node.is_down:
+            raise NodeDownError(node.node_id, txn.txn_id)
         event = node.locks.acquire(txn.txn_id, key, mode)
         if event.triggered:
             if event.failed:

@@ -10,6 +10,7 @@ Piggyback strategy hooks in.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from itertools import count
 from typing import TYPE_CHECKING, Any, Generator, Optional, Protocol
@@ -52,6 +53,10 @@ class NullScheduler:
 #: Abort reason used for transactions that expired waiting in the queue.
 QUEUE_TIMEOUT_REASON = "transaction deadline exceeded in queue"
 
+#: Abort *cause* label for the same (no exception type is involved —
+#: the reaper aborts queued transactions without raising).
+QUEUE_TIMEOUT_CAUSE = "queue_timeout"
+
 
 @dataclass(frozen=True)
 class TransactionManagerConfig:
@@ -61,8 +66,18 @@ class TransactionManagerConfig:
     max_concurrent: int = 50
     #: Total attempts (first + retries) for an aborted normal transaction.
     max_attempts: int = 3
-    #: Delay before a retry is resubmitted.
+    #: Base delay before a retry is resubmitted (attempt 2 waits this
+    #: long; each further attempt multiplies by ``retry_backoff_factor``).
     retry_delay_s: float = 0.1
+    #: Exponential backoff multiplier applied per failed attempt.
+    retry_backoff_factor: float = 2.0
+    #: Ceiling on the (pre-jitter) retry delay.
+    max_retry_delay_s: float = 10.0
+    #: Random spread added to each retry delay: the actual delay is
+    #: multiplied by ``1 + U(0, retry_jitter)``.  Jitter decorrelates the
+    #: retry stampede after a node crash; it requires the manager to be
+    #: given an ``rng`` so runs stay reproducible.
+    retry_jitter: float = 0.0
     #: Whether aborted repartition transactions are resubmitted until done.
     retry_repartition: bool = True
     #: Client-side transaction deadline: a *normal* transaction that has
@@ -90,6 +105,12 @@ class TransactionManagerConfig:
             raise ConfigError("max_attempts must be >= 1")
         if self.retry_delay_s < 0:
             raise ConfigError("retry delay cannot be negative")
+        if self.retry_backoff_factor < 1.0:
+            raise ConfigError("retry backoff factor must be >= 1")
+        if self.max_retry_delay_s < self.retry_delay_s:
+            raise ConfigError("max retry delay cannot undercut the base delay")
+        if self.retry_jitter < 0:
+            raise ConfigError("retry jitter cannot be negative")
         if self.queue_timeout_s is not None and self.queue_timeout_s <= 0:
             raise ConfigError("queue timeout must be positive or None")
         if not 0.0 <= self.low_priority_idle_fraction <= 1.0:
@@ -107,11 +128,15 @@ class TransactionManager:
         executor: TransactionExecutor,
         metrics: Optional["MetricsCollector"] = None,
         config: Optional[TransactionManagerConfig] = None,
+        rng: Optional[random.Random] = None,
     ) -> None:
         self.env = env
         self.executor = executor
         self.metrics = metrics
         self.config = config or TransactionManagerConfig()
+        if self.config.retry_jitter > 0 and rng is None:
+            raise ConfigError("retry jitter requires an rng")
+        self._retry_rng = rng
         self.queue = ProcessingQueue(env)
         self.scheduler: SchedulerHook = NullScheduler()
         self._ids = count(1)
@@ -123,6 +148,7 @@ class TransactionManager:
         self.total_submitted = 0
         self.total_committed = 0
         self.total_aborted = 0
+        self.total_retries = 0
 
     # ------------------------------------------------------------------
     # Transaction factories
@@ -244,6 +270,7 @@ class TransactionManager:
     def _abort_expired(self, txn: Transaction) -> None:
         txn.status = TxnStatus.ABORTED
         txn.abort_reason = QUEUE_TIMEOUT_REASON
+        txn.abort_cause = QUEUE_TIMEOUT_CAUSE
         txn.finished_at = self.env.now
         self.total_aborted += 1
         if self.metrics is not None:
@@ -296,11 +323,34 @@ class TransactionManager:
         if txn.attempts < self.config.max_attempts:
             self.env.process(self._resubmit_later(txn))
 
+    def _retry_delay(self, txn: Transaction) -> float:
+        """Exponential backoff with optional jitter for attempt N+1.
+
+        ``txn.attempts`` failed attempts have happened; the first retry
+        waits the base delay, each further one doubles (by default) up
+        to ``max_retry_delay_s``.  Jitter spreads simultaneous victims
+        of one crash so they do not re-arrive in lockstep.
+        """
+        cfg = self.config
+        exponent = max(0, txn.attempts - 1)
+        delay = min(
+            cfg.max_retry_delay_s,
+            cfg.retry_delay_s * cfg.retry_backoff_factor**exponent,
+        )
+        if cfg.retry_jitter > 0:
+            assert self._retry_rng is not None
+            delay *= 1.0 + cfg.retry_jitter * self._retry_rng.random()
+        return delay
+
     def _resubmit_later(
         self, txn: Transaction
     ) -> Generator[Event, Any, None]:
-        yield self.env.timeout(self.config.retry_delay_s)
+        yield self.env.timeout(self._retry_delay(txn))
+        self.total_retries += 1
+        if self.metrics is not None:
+            self.metrics.record_retry(txn)
         txn.status = TxnStatus.CREATED
         txn.abort_reason = None
+        txn.abort_cause = None
         txn.finished_at = None
         self.submit(txn)

@@ -32,6 +32,13 @@ class ProcessingQueue:
         self.env = env
         self._heap: list[tuple[int, int, TxnId]] = []
         self._entries: dict[TxnId, Transaction] = {}
+        #: Sequence number of each transaction's *live* heap entry.  A
+        #: heap entry whose sequence no longer matches is stale (the txn
+        #: was removed, or removed and re-inserted — e.g. demoted by
+        #: ``reprioritise``) and must be skipped; matching on txn id
+        #: alone would dequeue a demoted transaction at its old
+        #: priority through the abandoned entry.
+        self._live_seq: dict[TxnId, int] = {}
         self._seq = count()
         self._waiters: list[Event] = []
 
@@ -50,10 +57,10 @@ class ProcessingQueue:
             raise ValueError(f"transaction {txn.txn_id} is already queued")
         if priority is not None:
             txn.priority = priority
-        heapq.heappush(
-            self._heap, (int(txn.priority), next(self._seq), txn.txn_id)
-        )
+        seq = next(self._seq)
+        heapq.heappush(self._heap, (int(txn.priority), seq, txn.txn_id))
         self._entries[txn.txn_id] = txn
+        self._live_seq[txn.txn_id] = seq
         self._wake_waiters()
 
     # ------------------------------------------------------------------
@@ -62,19 +69,19 @@ class ProcessingQueue:
     def pop(self) -> Optional[Transaction]:
         """Dequeue the highest-priority (then oldest) transaction."""
         while self._heap:
-            _prio, _seq, txn_id = heapq.heappop(self._heap)
-            txn = self._entries.pop(txn_id, None)
-            if txn is not None:
-                return txn
+            _prio, seq, txn_id = heapq.heappop(self._heap)
+            if self._live_seq.get(txn_id) != seq:
+                continue  # stale entry (removed or re-prioritised)
+            del self._live_seq[txn_id]
+            return self._entries.pop(txn_id)
         return None
 
     def peek(self) -> Optional[Transaction]:
         """The transaction :meth:`pop` would return, without removing it."""
         while self._heap:
-            _prio, _seq, txn_id = self._heap[0]
-            txn = self._entries.get(txn_id)
-            if txn is not None:
-                return txn
+            _prio, seq, txn_id = self._heap[0]
+            if self._live_seq.get(txn_id) == seq:
+                return self._entries[txn_id]
             heapq.heappop(self._heap)  # discard stale entry
         return None
 
@@ -93,9 +100,13 @@ class ProcessingQueue:
     def remove(self, txn_id: TxnId) -> Optional[Transaction]:
         """Withdraw a waiting transaction; ``None`` if it is not queued.
 
-        The heap entry is left behind and skipped lazily by :meth:`pop`.
+        The heap entry is left behind and skipped lazily by :meth:`pop`
+        (its recorded sequence number no longer matches).
         """
-        return self._entries.pop(txn_id, None)
+        txn = self._entries.pop(txn_id, None)
+        if txn is not None:
+            self._live_seq.pop(txn_id, None)
+        return txn
 
     def reprioritise(self, txn_id: TxnId, priority: Priority) -> bool:
         """Move a waiting transaction to a different priority level."""

@@ -49,6 +49,9 @@ class Transaction:
 
     attempts: int = 0
     abort_reason: Optional[str] = None
+    #: Machine-readable abort category (``TransactionAborted.cause``)
+    #: for the aborts-by-cause metric; cleared on resubmit.
+    abort_cause: Optional[str] = None
 
     # Work-unit accounting (filled by the executor) for the PV metric.
     normal_cost_units: float = 0.0

@@ -11,6 +11,15 @@ failure* behaviour on the simulated network:
 * phase 2 — on unanimous YES, COMMIT messages go out in parallel; any NO
   (or injected participant failure) turns phase 2 into ABORT.
 
+Failure handling follows presumed abort: a participant that is down, or
+that fails mid-prepare because its node crashed, counts as a NO vote; an
+optional per-phase timeout bounds how long the coordinator waits for
+votes, with participants that have not answered by the deadline also
+counted as NO.  Crashed participants are skipped in phase 2 — on
+recovery they find no COMMIT record in their log and roll the
+transaction back, which is exactly what the decision message would have
+told them.
+
 A single-participant transaction skips the protocol entirely (one-phase
 commit), which is exactly why collocating a transaction's tuples makes
 it cheaper — the effect the paper's cost model captures as C vs 2C.
@@ -23,6 +32,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Generator, Optional, Sequence
 
 from ..cluster.node import DataNode
+from ..errors import NodeDownError
 from ..sim.events import Event
 from ..sim.network import Network
 
@@ -38,6 +48,9 @@ class TwoPhaseCommitConfig:
     prepare_work_units: float = 0.0
     #: Probability that a participant votes NO (failure injection).
     vote_no_probability: float = 0.0
+    #: Abort the round if phase 1 has not collected every vote within
+    #: this many seconds (``None`` = wait for all votes indefinitely).
+    phase_timeout_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.vote_no_probability <= 1.0:
@@ -47,6 +60,8 @@ class TwoPhaseCommitConfig:
             )
         if self.prepare_work_units < 0:
             raise ValueError("prepare work cannot be negative")
+        if self.phase_timeout_s is not None and self.phase_timeout_s <= 0:
+            raise ValueError("phase timeout must be positive or None")
 
 
 @dataclass
@@ -55,6 +70,10 @@ class CommitOutcome:
 
     committed: bool
     no_votes: tuple[int, ...] = ()
+    #: Participants that were unreachable (crashed) during the round.
+    down: tuple[int, ...] = ()
+    #: Whether the phase-1 vote collection hit ``phase_timeout_s``.
+    timed_out: bool = False
 
 
 class TwoPhaseCommitCoordinator:
@@ -73,6 +92,8 @@ class TwoPhaseCommitCoordinator:
         self._rng = rng
         self.rounds = 0
         self.aborts = 0
+        self.down_participant_rounds = 0
+        self.timeout_rounds = 0
         if self.config.vote_no_probability > 0 and rng is None:
             raise ValueError("failure injection requires an rng")
 
@@ -88,7 +109,14 @@ class TwoPhaseCommitCoordinator:
         """
         self.rounds += 1
         if len(participants) <= 1:
-            # One-phase commit: no coordination needed.
+            # One-phase commit: no coordination needed — but not to a
+            # corpse: a lone participant that crashed mid-transaction
+            # cannot acknowledge the commit.
+            if participants and participants[0].is_down:
+                self.aborts += 1
+                self.down_participant_rounds += 1
+                down = (participants[0].node_id,)
+                return CommitOutcome(committed=False, no_votes=down, down=down)
             return CommitOutcome(committed=True)
 
         # Phase 1: PREPARE round trips in parallel.
@@ -96,36 +124,76 @@ class TwoPhaseCommitCoordinator:
             self.env.process(self._prepare_one(coordinator_id, node))
             for node in participants
         ]
-        votes_by_event = yield self.env.all_of(prepare_jobs)
-        votes = [votes_by_event[job] for job in prepare_jobs]
+        all_votes = self.env.all_of(prepare_jobs)
+        timed_out = False
+        if self.config.phase_timeout_s is None:
+            yield all_votes
+        else:
+            timeout = self.env.timeout(self.config.phase_timeout_s)
+            yield self.env.any_of([all_votes, timeout])
+            timed_out = not all_votes.triggered
+        # A job that has not answered by the deadline counts as NO
+        # (presumed abort); it keeps running harmlessly in the background.
+        votes = [
+            bool(job.value) if job.triggered and job.ok else False
+            for job in prepare_jobs
+        ]
 
         no_votes = tuple(
             node.node_id
             for node, vote in zip(participants, votes)
             if not vote
         )
+        down = tuple(
+            node.node_id for node in participants if node.is_down
+        )
         committed = not no_votes
         if not committed:
             self.aborts += 1
+            if down:
+                self.down_participant_rounds += 1
+        if timed_out:
+            self.timeout_rounds += 1
 
-        # Phase 2: COMMIT/ABORT round trips in parallel.
+        # Phase 2: COMMIT/ABORT round trips in parallel.  Crashed
+        # participants are skipped — there is nobody to answer; their
+        # recovery rolls the transaction back from the log.
         decision_jobs = [
             self.env.process(
                 self.network.round_trip(coordinator_id, node.node_id)
             )
             for node in participants
+            if not node.is_down
         ]
-        yield self.env.all_of(decision_jobs)
-        return CommitOutcome(committed=committed, no_votes=no_votes)
+        if decision_jobs:
+            yield self.env.all_of(decision_jobs)
+        return CommitOutcome(
+            committed=committed,
+            no_votes=no_votes,
+            down=down,
+            timed_out=timed_out,
+        )
 
     def _prepare_one(
         self, coordinator_id: int, node: DataNode
     ) -> Generator[Event, Any, bool]:
-        """PREPARE round trip to one participant; returns its vote."""
-        yield from self.network.transfer(coordinator_id, node.node_id)
-        if self.config.prepare_work_units > 0:
-            yield from node.work(self.config.prepare_work_units)
-        yield from self.network.transfer(node.node_id, coordinator_id)
+        """PREPARE round trip to one participant; returns its vote.
+
+        An unreachable participant — already down when PREPARE is sent,
+        or crashing while serving the prepare work — votes NO rather
+        than raising, so one dead node cannot blow up the whole round.
+        """
+        if node.is_down:
+            return False
+        try:
+            yield from self.network.transfer(coordinator_id, node.node_id)
+            if self.config.prepare_work_units > 0:
+                yield from node.work(self.config.prepare_work_units)
+            yield from self.network.transfer(node.node_id, coordinator_id)
+        except NodeDownError:
+            return False
+        if node.is_down:
+            return False
         if self.config.vote_no_probability > 0:
             assert self._rng is not None
             if self._rng.random() < self.config.vote_no_probability:

@@ -48,6 +48,18 @@ class TestDerivative:
         pid = PIDController(kp=0.0, kd=1.0, setpoint=0.0)
         assert pid.update(5.0) == pytest.approx(0.0)
 
+    def test_first_step_after_reset_has_no_derivative(self):
+        """Reset must clear derivative history, not leave a zero error.
+
+        A sentinel previous-error of 0.0 would make the first post-reset
+        step see a spurious de/dt kick; ``None`` means "no history yet".
+        """
+        pid = PIDController(kp=0.0, kd=1.0, setpoint=0.0)
+        pid.update(5.0)
+        pid.update(3.0)
+        pid.reset()
+        assert pid.update(7.0) == pytest.approx(0.0)
+
     def test_derivative_tracks_error_change(self):
         pid = PIDController(kp=0.0, kd=1.0, setpoint=0.0)
         pid.update(5.0)          # e = -5

@@ -6,7 +6,7 @@ import pytest
 
 from repro.core import Repartitioner, generate_and_rank
 from repro.core.session import RepartitionSession
-from repro.partitioning import CostModel, PartitionPlan, diff_plan
+from repro.partitioning import PartitionPlan, diff_plan
 from repro.workload import TransactionType, WorkloadProfile
 
 from ..txn.conftest import Stack, build_stack

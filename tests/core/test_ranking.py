@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import generate_and_rank
-from repro.partitioning import CostModel, Migrate, PartitionPlan, diff_plan
+from repro.partitioning import CostModel, PartitionPlan, diff_plan
 from repro.routing import PartitionMap
 from repro.workload import TransactionType, WorkloadProfile
 

@@ -5,7 +5,6 @@ import pytest
 from repro.core.session import RepState
 from repro.types import Priority
 
-from .conftest import build_harness
 
 
 class TestInitialState:

@@ -60,6 +60,48 @@ class TestCommands:
         assert "mean_failure_rate" in out
 
 
+class TestFaultScheduleFlag:
+    def test_parsed_into_config(self):
+        from repro.cli import _cell_config
+
+        args = build_parser().parse_args(
+            ["run", "--fault-schedule", "30:crash:2,60:restart:2"]
+        )
+        config = _cell_config(args)
+        assert config.faults is not None
+        assert config.faults.enabled
+        assert [e.action for e in config.faults.events] == [
+            "crash", "restart"
+        ]
+
+    def test_absent_flag_means_no_faults(self):
+        from repro.cli import _cell_config
+
+        config = _cell_config(build_parser().parse_args(["run"]))
+        assert config.faults is None
+
+    def test_malformed_schedule_raises(self):
+        from repro.cli import _cell_config
+        from repro.errors import ConfigError
+
+        args = build_parser().parse_args(
+            ["run", "--fault-schedule", "30:explode:2"]
+        )
+        with pytest.raises(ConfigError):
+            _cell_config(args)
+
+    def test_run_with_fault_schedule(self, capsys):
+        code = main(
+            ["run", "--scheduler", "Hybrid", "--intervals", "4",
+             "--warmup", "1", "--load", "low",
+             "--fault-schedule", "30:crash:2,60:restart:2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "total_retries" in out
+        assert "total_degraded_s" in out
+
+
 class TestEngineFlags:
     def test_jobs_and_cache_flags_parse(self):
         args = build_parser().parse_args(

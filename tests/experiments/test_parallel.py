@@ -7,8 +7,6 @@ must reproduce the exact result object.
 
 import dataclasses
 
-import pytest
-
 from repro.experiments import (
     CACHE_DIR_ENV,
     CellReport,

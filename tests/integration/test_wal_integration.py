@@ -6,8 +6,6 @@ store from its log and checks the recovered state equals the live state
 tuple by tuple.
 """
 
-import pytest
-
 from repro.partitioning import Migrate
 from repro.storage.wal import recover
 

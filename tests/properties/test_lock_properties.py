@@ -78,7 +78,13 @@ class TestLockInvariants:
     @settings(max_examples=150, deadline=None)
     @given(ACTIONS)
     def test_no_granted_event_left_pending(self, actions):
-        """Whoever holds a lock must have had their event succeed."""
+        """Whoever holds a lock must have had *a* grant event succeed.
+
+        A transaction may legally hold S while a later S→X upgrade
+        request is still waiting on co-holders, so the invariant is
+        per-(txn, key) over *all* of its acquire events: at least one
+        must have succeeded, not necessarily the most recent.
+        """
         env = Environment()
         manager = LockManager(env, DeadlockDetector())
         grants = {}
@@ -86,7 +92,7 @@ class TestLockInvariants:
             if action == "acquire":
                 event = manager.acquire(txn, key, mode)
                 event.defused = True
-                grants[(txn, key)] = event
+                grants.setdefault((txn, key), []).append(event)
             elif action == "release":
                 manager.release(txn, key)
             elif action == "release_all":
@@ -95,10 +101,10 @@ class TestLockInvariants:
                 manager.cancel(txn, key)
         for key in range(5):
             for txn in manager.holders_of(key):
-                event = grants.get((txn, key))
-                if event is not None and not event.triggered:
+                events = grants.get((txn, key))
+                if events and not any(e.ok for e in events):
                     raise AssertionError(
-                        f"txn {txn} holds {key} but its event is pending"
+                        f"txn {txn} holds {key} but no grant event succeeded"
                     )
 
     @settings(max_examples=100, deadline=None)

@@ -4,7 +4,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import RoutingError
-from repro.partitioning import CostModel, PartitionPlan, RepartitionOptimizer, diff_plan
+from repro.partitioning import CostModel, RepartitionOptimizer, diff_plan
 from repro.routing import PartitionMap
 from repro.workload import TransactionType, WorkloadProfile
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import AllOf, AnyOf, Environment, Event, Interrupt, Timeout
+from repro.sim import AllOf, Environment, Event, Interrupt
 
 
 class TestEvent:
@@ -231,6 +231,40 @@ class TestInterrupt:
     def test_cause_none_by_default(self):
         interrupt = Interrupt()
         assert interrupt.cause is None
+
+    def test_interrupt_before_first_resume(self, env):
+        """Regression: interrupting a just-created process must not let
+        its still-pending kick-off (or a later wait target) re-trigger
+        the finished process event."""
+        def sleeper():
+            try:
+                yield env.timeout(100)
+            except Interrupt:
+                return "interrupted"
+
+        target = env.process(sleeper())
+        target.interrupt("early")   # before env.run: process never resumed
+        env.run(until=200)          # the stale wake-ups fire harmlessly
+        assert target.ok
+
+    def test_interrupt_mid_wait_detaches_stale_timeout(self, env):
+        out = []
+
+        def sleeper():
+            try:
+                yield env.timeout(10)
+            except Interrupt:
+                out.append(env.now)
+
+        target = env.process(sleeper())
+
+        def killer():
+            yield env.timeout(2)
+            target.interrupt()
+
+        env.process(killer())
+        env.run(until=50)           # t=10 timeout still fires; must be inert
+        assert out == [2.0]
 
 
 class TestConditions:

@@ -169,6 +169,52 @@ class TestCheckpointing:
         assert wal.truncate_before_checkpoint() == 0
         assert recover(wal).read(9) == 9
 
+    def test_checkpoint_with_open_transaction_rejected(self, wal):
+        """Sharp checkpoints only: snapshots include in-place writes of
+        open transactions, which recovery could not undo."""
+        wal.log_begin(1)
+        wal.log_insert(1, Record(key=5, value=50))
+        with pytest.raises(StorageError):
+            wal.log_checkpoint(self.make_store())
+        wal.log_commit(1)
+        wal.log_checkpoint(self.make_store())  # quiescent: fine
+
+    def test_open_transactions_tracked(self, wal):
+        assert wal.open_transactions == frozenset()
+        wal.log_begin(1)
+        wal.log_begin(2)
+        assert wal.open_transactions == frozenset({1, 2})
+        wal.log_commit(1)
+        wal.log_abort(2)
+        assert wal.open_transactions == frozenset()
+
+    def test_truncation_preserves_recovery_outcome(self, wal):
+        committed_txn(
+            wal, 1, lambda t: wal.log_insert(t, Record(key=9, value=9))
+        )
+        wal.log_checkpoint(recover(wal))
+        committed_txn(wal, 2, lambda t: wal.log_write(t, 9, 99))
+        before = recover(wal)
+        wal.truncate_before_checkpoint()
+        after = recover(wal)
+        assert {k: after.read(k) for k in after.keys()} == {
+            k: before.read(k) for k in before.keys()
+        }
+
+    def test_delete_of_key_absent_from_checkpoint(self, wal):
+        """A committed DELETE whose key the checkpoint never held must
+        recover cleanly instead of tripping over the missing key."""
+        wal.log_checkpoint(self.make_store())  # holds keys 1 and 2 only
+        committed_txn(
+            wal, 3,
+            lambda t: wal.log_insert(t, Record(key=7, value=70)),
+            lambda t: wal.log_delete(t, 7),
+        )
+        committed_txn(wal, 4, lambda t: wal.log_delete(t, 7))
+        store = recover(wal)
+        assert 7 not in store
+        assert store.read(1) == 10
+
     def test_record_types_enumerated(self):
         assert {t.value for t in WalRecordType} == {
             "begin", "write", "insert", "delete", "commit", "abort",

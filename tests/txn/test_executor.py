@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.locking import LockMode
 from repro.partitioning import CreateReplica, DeleteReplica, Migrate
 from repro.types import TxnStatus
 
@@ -221,3 +220,52 @@ class TestStaleRoutingRecovery:
         assert migration.committed
         assert reader.committed
         assert stack.cluster.node_for_partition(1).store.read(0) == 5
+
+
+class TestNodeDownExecution:
+    def test_txn_touching_down_node_aborts_with_cause(self):
+        stack = build_stack(max_attempts=1)
+        node = stack.cluster.node(1)
+        node.enable_fault_injection()
+        node.crash()
+        txn = stack.tm.create_normal([stack.write(1)])  # key 1 -> node 1
+        stack.tm.submit(txn)
+        stack.env.run(until=50)
+        assert txn.status is TxnStatus.ABORTED
+        assert txn.abort_cause == "node_down"
+
+    def test_retry_commits_after_restart(self):
+        stack = build_stack(max_attempts=3)
+        node = stack.cluster.node(1)
+        node.enable_fault_injection()
+        node.crash()
+        txn = stack.tm.create_normal([stack.write(1, value=9)])
+        stack.tm.submit(txn)
+
+        def fixer():
+            yield stack.env.timeout(0.05)
+            node.restart()
+
+        stack.env.process(fixer())
+        stack.env.run(until=50)
+        assert txn.committed
+        assert txn.attempts >= 2
+        assert stack.tm.total_retries >= 1
+        assert node.store.read(1) == 9
+
+    def test_distributed_txn_spanning_down_node_aborts(self):
+        """One dead participant aborts the whole distributed txn; the
+        surviving node's state is untouched."""
+        stack = build_stack(max_attempts=1)
+        live = stack.cluster.node(0)
+        before = live.store.read(0)
+        stack.cluster.node(1).enable_fault_injection()
+        stack.cluster.node(1).crash()
+        txn = stack.tm.create_normal(
+            [stack.write(0, value=123), stack.write(1, value=456)]
+        )
+        stack.tm.submit(txn)
+        stack.env.run(until=50)
+        assert txn.status is TxnStatus.ABORTED
+        assert txn.abort_cause == "node_down"
+        assert live.store.read(0) == before  # undo ran on the survivor

@@ -86,6 +86,78 @@ class TestRetry:
         assert txn.attempts == 3
 
 
+class TestRetryBackoff:
+    def _manager(self, stack, **overrides):
+        from repro.txn.manager import (
+            TransactionManager,
+            TransactionManagerConfig,
+        )
+
+        rng = overrides.pop("rng", None)
+        return TransactionManager(
+            stack.env,
+            stack.executor,
+            config=TransactionManagerConfig(**overrides),
+            rng=rng,
+        )
+
+    def test_delay_doubles_per_attempt_up_to_cap(self):
+        stack = build_stack()
+        tm = self._manager(
+            stack, retry_delay_s=1.0, retry_backoff_factor=2.0,
+            max_retry_delay_s=5.0,
+        )
+        txn = tm.create_normal([stack.read(0)])
+        delays = []
+        for attempts in (1, 2, 3, 4, 5):
+            txn.attempts = attempts
+            delays.append(tm._retry_delay(txn))
+        assert delays == [1.0, 2.0, 4.0, 5.0, 5.0]
+
+    def test_first_retry_unchanged_by_backoff_defaults(self):
+        """Backoff only kicks in from the second retry, so fault-free
+        runs keep their original retry timing."""
+        stack = build_stack()
+        tm = self._manager(stack, retry_delay_s=0.1)
+        txn = tm.create_normal([stack.read(0)])
+        txn.attempts = 1
+        assert tm._retry_delay(txn) == pytest.approx(0.1)
+
+    def test_jitter_requires_rng(self):
+        stack = build_stack()
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            self._manager(stack, retry_jitter=0.5)
+
+    def test_jitter_spreads_but_stays_bounded(self):
+        import random
+
+        stack = build_stack()
+        tm = self._manager(
+            stack, retry_delay_s=1.0, retry_jitter=0.5,
+            rng=random.Random(42),
+        )
+        txn = tm.create_normal([stack.read(0)])
+        txn.attempts = 1
+        delays = {tm._retry_delay(txn) for _ in range(50)}
+        assert len(delays) > 1  # actually spread
+        assert all(1.0 <= d <= 1.5 for d in delays)
+
+    def test_invalid_backoff_config_rejected(self):
+        from repro.errors import ConfigError
+        from repro.txn.manager import TransactionManagerConfig
+
+        with pytest.raises(ConfigError):
+            TransactionManagerConfig(retry_backoff_factor=0.5)
+        with pytest.raises(ConfigError):
+            TransactionManagerConfig(
+                retry_delay_s=2.0, max_retry_delay_s=1.0
+            )
+        with pytest.raises(ConfigError):
+            TransactionManagerConfig(retry_jitter=-0.1)
+
+
 class TestQueueDeadline:
     def test_expired_transaction_aborted_without_execution(self):
         stack = build_stack(queue_timeout_s=5.0, capacity=0.1,
@@ -99,6 +171,7 @@ class TestQueueDeadline:
         assert blocker.committed
         assert victim.status is TxnStatus.ABORTED
         assert victim.abort_reason == QUEUE_TIMEOUT_REASON
+        assert victim.abort_cause == "queue_timeout"
         assert victim.started_at is None  # never executed
 
     def test_expired_transaction_not_retried(self):

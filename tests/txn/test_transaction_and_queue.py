@@ -132,6 +132,28 @@ class TestProcessingQueue:
     def test_reprioritise_missing_returns_false(self, env):
         assert not ProcessingQueue(env).reprioritise(1, Priority.HIGH)
 
+    def test_demotion_not_served_through_stale_entry(self, env):
+        """Regression: a demoted txn must not pop at its old priority.
+
+        Matching stale heap entries on txn id alone let a NORMAL→LOW
+        demotion pop through the abandoned NORMAL-level entry, making
+        the demotion a silent no-op.
+        """
+        queue = ProcessingQueue(env)
+        queue.put(normal_txn(1, Priority.NORMAL))
+        assert queue.reprioritise(1, Priority.LOW)
+        queue.put(normal_txn(2, Priority.NORMAL))
+        assert queue.peek().txn_id == 2
+        assert [queue.pop().txn_id for _ in range(2)] == [2, 1]
+
+    def test_demote_then_promote_back(self, env):
+        queue = ProcessingQueue(env)
+        queue.put(normal_txn(1, Priority.NORMAL))
+        queue.put(normal_txn(2, Priority.NORMAL))
+        assert queue.reprioritise(1, Priority.LOW)
+        assert queue.reprioritise(1, Priority.HIGH)
+        assert [queue.pop().txn_id for _ in range(2)] == [1, 2]
+
     def test_peek_skips_stale_entries(self, env):
         queue = ProcessingQueue(env)
         queue.put(normal_txn(1, Priority.HIGH))

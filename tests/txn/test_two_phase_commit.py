@@ -5,7 +5,6 @@ import random
 import pytest
 
 from repro.cluster import Cluster, ClusterConfig
-from repro.sim import Network
 from repro.txn import TwoPhaseCommitConfig, TwoPhaseCommitCoordinator
 
 
@@ -86,6 +85,82 @@ class TestFailureInjection:
     def test_invalid_probability_rejected(self):
         with pytest.raises(ValueError):
             TwoPhaseCommitConfig(vote_no_probability=1.5)
+
+    def test_down_participant_counts_as_no_vote(self, env, cluster):
+        coordinator = TwoPhaseCommitCoordinator(env, cluster.network)
+        cluster.node(1).crash()
+        _when, outcome = run_commit(env, coordinator, cluster.nodes)
+        assert not outcome.committed
+        assert outcome.no_votes == (1,)
+        assert outcome.down == (1,)
+        assert coordinator.down_participant_rounds == 1
+        assert coordinator.aborts == 1
+
+    def test_one_phase_commit_refused_to_down_node(self, env, cluster):
+        coordinator = TwoPhaseCommitCoordinator(env, cluster.network)
+        cluster.node(0).crash()
+        _when, outcome = run_commit(env, coordinator, cluster.nodes[:1])
+        assert not outcome.committed
+        assert outcome.down == (0,)
+
+    def test_crash_mid_prepare_votes_no(self, env):
+        """A participant crashing while serving PREPARE work must vote
+        NO instead of blowing up the round."""
+        cluster = Cluster(
+            env, ClusterConfig(node_count=2, capacity_units_per_s=10)
+        )
+        coordinator = TwoPhaseCommitCoordinator(
+            env,
+            cluster.network,
+            TwoPhaseCommitConfig(prepare_work_units=50.0),  # 5 s of work
+        )
+        cluster.node(1).enable_fault_injection()
+
+        def saboteur():
+            yield env.timeout(1.0)
+            cluster.node(1).crash()
+
+        env.process(saboteur())
+        _when, outcome = run_commit(env, coordinator, cluster.nodes)
+        assert not outcome.committed
+        assert 1 in outcome.no_votes
+        assert outcome.down == (1,)
+
+    def test_phase_timeout_counts_silent_votes_as_no(self, env):
+        """An unanswered PREPARE past the deadline is a NO vote."""
+        cluster = Cluster(
+            env, ClusterConfig(node_count=2, capacity_units_per_s=1.0)
+        )
+        coordinator = TwoPhaseCommitCoordinator(
+            env,
+            cluster.network,
+            TwoPhaseCommitConfig(
+                prepare_work_units=100.0,  # 100 s of prepare work...
+                phase_timeout_s=2.0,       # ...against a 2 s deadline
+            ),
+        )
+        when, outcome = run_commit(env, coordinator, cluster.nodes)
+        assert not outcome.committed
+        assert outcome.timed_out
+        assert set(outcome.no_votes) == {0, 1}
+        assert outcome.down == ()
+        assert coordinator.timeout_rounds == 1
+        assert when < 100.0  # the coordinator did not wait out the work
+
+    def test_no_timeout_round_when_votes_arrive_in_time(self, env, cluster):
+        coordinator = TwoPhaseCommitCoordinator(
+            env,
+            cluster.network,
+            TwoPhaseCommitConfig(phase_timeout_s=60.0),
+        )
+        _when, outcome = run_commit(env, coordinator, cluster.nodes)
+        assert outcome.committed
+        assert not outcome.timed_out
+        assert coordinator.timeout_rounds == 0
+
+    def test_invalid_phase_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            TwoPhaseCommitConfig(phase_timeout_s=0.0)
 
     def test_prepare_work_charged_at_participant(self, env):
         cluster = Cluster(

@@ -6,7 +6,6 @@ import pytest
 
 from repro.cluster import Cluster, ClusterConfig
 from repro.errors import ConfigError
-from repro.sim import Environment
 from repro.types import AccessMode
 from repro.workload import (
     ArrivalConfig,
