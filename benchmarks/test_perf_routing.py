@@ -1,0 +1,159 @@
+"""Perf harness for the routing layer: epoch store, routing, publishing.
+
+Times the hot paths the epoch-versioned-map refactor touched and writes
+the numbers to ``BENCH_routing.json`` at the repo root so future changes
+have a perf trajectory to compare against:
+
+* **route_read / route_write** — single-tuple routing throughput
+  (routes/s) through the store's current epoch;
+* **pinned-epoch reads** — the stale-snapshot path: reads resolved
+  through a pinned epoch with transitions stacked on top of it;
+* **epoch publish** — latency of staging + publishing a fixed-size
+  delta batch, against maps of increasing size (the refactor's O(changed
+  keys) claim: publish cost must track the batch, not the map);
+* **partition_sizes** — the incrementally-maintained O(partitions)
+  aggregate, against map size.
+
+Correctness is asserted alongside the timings.  Uses no pytest plugins,
+so CI can run it as a plain smoke test:
+``PYTHONPATH=src python -m pytest -x -q benchmarks/test_perf_routing.py``.
+"""
+
+import json
+import os
+import pathlib
+import platform
+import time
+
+from repro.routing import PartitionMap, PartitionMapStore, QueryRouter
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_PATH = ROOT / "BENCH_routing.json"
+
+PARTITIONS = 8
+MAP_SIZES = (1_000, 10_000, 100_000)
+PUBLISH_BATCH = 64
+ROUTE_CALLS = 200_000
+
+
+def build_store(n_keys: int) -> PartitionMapStore:
+    pmap = PartitionMap()
+    for key in range(n_keys):
+        pmap.assign(key, key % PARTITIONS)
+    return PartitionMapStore(pmap)
+
+
+def _time_routing(store: PartitionMapStore, mode: str, n: int):
+    router = QueryRouter(store)
+    n_keys = len(store)
+    keys = [(i * 7919) % n_keys for i in range(1000)]
+    route = router.route_read if mode == "read" else router.route_write
+    started = time.perf_counter()
+    for i in range(n):
+        route(keys[i % 1000])
+    elapsed = time.perf_counter() - started
+    assert router.reads_routed + router.writes_routed == n
+    return n / elapsed
+
+
+def _time_pinned_reads(store: PartitionMapStore, n: int, depth: int = 10):
+    """Reads through a pinned epoch with ``depth`` transitions above it."""
+    router = QueryRouter(store)
+    pinned = store.pin()
+    moved = []
+    for i in range(depth):
+        stage = store.begin_stage()
+        key = i * 13
+        primary = store.primary_of(key)
+        stage.move(key, primary, (primary + 1) % PARTITIONS)
+        store.publish(stage)
+        moved.append(key)
+    n_keys = len(store)
+    keys = [(i * 7919) % n_keys for i in range(1000)]
+    started = time.perf_counter()
+    for i in range(n):
+        router.route_read(keys[i % 1000], epoch=pinned)
+    elapsed = time.perf_counter() - started
+    # The pinned snapshot still reads the pre-move placement.
+    for key in moved:
+        assert pinned.primary_of(key) == key % PARTITIONS
+    store.unpin(pinned)
+    return n / elapsed
+
+
+def _time_publish(store: PartitionMapStore, rounds: int = 50):
+    """Mean latency of staging + publishing PUBLISH_BATCH moves."""
+    keys = len(store)
+    latencies = []
+    for round_index in range(rounds):
+        stage = store.begin_stage()
+        base = (round_index * PUBLISH_BATCH * 31) % keys
+        staged = 0
+        offset = 0
+        while staged < PUBLISH_BATCH:
+            key = (base + offset * 17) % keys
+            offset += 1
+            primary = store.primary_of(key)
+            if key in stage.staged_keys:
+                continue
+            stage.move(key, primary, (primary + 1) % PARTITIONS)
+            staged += 1
+        started = time.perf_counter()
+        store.publish(stage)
+        latencies.append(time.perf_counter() - started)
+    assert store.publishes == rounds
+    return sum(latencies) / len(latencies)
+
+
+def _time_partition_sizes(store: PartitionMapStore, n: int = 20_000):
+    started = time.perf_counter()
+    for _ in range(n):
+        sizes = store.partition_sizes()
+    elapsed = time.perf_counter() - started
+    assert sum(sizes.values()) >= len(store)
+    return n / elapsed
+
+
+def test_perf_routing():
+    payload = {
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "map_sizes": list(MAP_SIZES),
+        "publish_batch": PUBLISH_BATCH,
+    }
+
+    standard = build_store(10_000)
+    payload["route_read_per_s"] = round(
+        _time_routing(standard, "read", ROUTE_CALLS)
+    )
+    payload["route_write_per_s"] = round(
+        _time_routing(build_store(10_000), "write", ROUTE_CALLS)
+    )
+    payload["pinned_epoch_read_per_s"] = round(
+        _time_pinned_reads(build_store(10_000), ROUTE_CALLS // 4)
+    )
+
+    # Publish latency and partition_sizes throughput vs map size: both
+    # must stay roughly flat as the map grows (they depend on batch size
+    # and partition count, not tuple count).
+    publish_ms = {}
+    sizes_per_s = {}
+    for n_keys in MAP_SIZES:
+        store = build_store(n_keys)
+        publish_ms[str(n_keys)] = round(_time_publish(store) * 1000, 4)
+        sizes_per_s[str(n_keys)] = round(_time_partition_sizes(store))
+    payload["epoch_publish_ms_by_map_size"] = publish_ms
+    payload["partition_sizes_per_s_by_map_size"] = sizes_per_s
+
+    # The O(changed-keys) publish claim, with generous headroom for
+    # timer noise on shared CI hosts: growing the map 100× must not grow
+    # publish latency anywhere near 100×.
+    smallest = publish_ms[str(MAP_SIZES[0])]
+    largest = publish_ms[str(MAP_SIZES[-1])]
+    assert largest < smallest * 25, (
+        f"epoch publish latency scales with map size: {publish_ms}"
+    )
+
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))

@@ -13,6 +13,7 @@ Usage examples::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import Optional, Sequence
 
@@ -117,6 +118,16 @@ def _add_cell_arguments(
             "('mtbf=300,mttr=30[,start=S][,end=E]')"
         ),
     )
+    parser.add_argument(
+        "--stale-route-policy", default="follow",
+        choices=("follow", "abort"),
+        help=(
+            "when a tuple migrates under a running transaction: "
+            "'follow' re-routes to its new home (default), 'abort' "
+            "raises a retryable stale_route abort judged against the "
+            "epoch pinned at admission"
+        ),
+    )
 
 
 def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
@@ -161,7 +172,7 @@ def _cell_config(args: argparse.Namespace, scheduler: Optional[str] = None):
         from .faults import parse_fault_schedule
 
         faults = parse_fault_schedule(args.fault_schedule)
-    return bench_scale(
+    config = bench_scale(
         scheduler=scheduler or args.scheduler,
         distribution=args.distribution,
         load=args.load,
@@ -171,6 +182,15 @@ def _cell_config(args: argparse.Namespace, scheduler: Optional[str] = None):
         warmup_intervals=args.warmup,
         faults=faults,
     )
+    policy = getattr(args, "stale_route_policy", "follow")
+    if policy != "follow":
+        config = dataclasses.replace(
+            config,
+            runtime=dataclasses.replace(
+                config.runtime, stale_route_policy=policy
+            ),
+        )
+    return config
 
 
 def _command_run(args: argparse.Namespace) -> int:

@@ -203,7 +203,7 @@ class AutoRepartitioner:
         if not profile.types:
             return
         rate = self.monitor.observed_rate_txn_per_s()
-        pmap = self.repartitioner.router.partition_map
+        pmap = self.repartitioner.router.store.current_epoch
         mean_cost = self.repartitioner.cost_model.expected_cost_per_txn(
             profile.types, pmap
         )

@@ -27,7 +27,7 @@ from typing import Sequence
 from ..partitioning.cost_model import CostModel
 from ..partitioning.operations import RepartitionOperation
 from ..partitioning.plan import PartitionPlan
-from ..routing.partition_map import PartitionMap
+from ..routing.epoch import MapView
 from ..workload.profile import WorkloadProfile
 
 
@@ -53,7 +53,7 @@ class RepartitionTransactionSpec:
 def generate_and_rank(
     operations: Sequence[RepartitionOperation],
     plan: PartitionPlan,
-    current: PartitionMap,
+    current: MapView,
     profile: WorkloadProfile,
     cost_model: CostModel,
 ) -> list[RepartitionTransactionSpec]:

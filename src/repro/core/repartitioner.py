@@ -55,13 +55,19 @@ class Repartitioner:
         profile: WorkloadProfile,
         operations: Optional[Sequence[RepartitionOperation]] = None,
     ) -> list[RepartitionTransactionSpec]:
-        """Diff the plan against the live map and run Algorithm 1."""
+        """Diff the plan against the current epoch and run Algorithm 1.
+
+        Diffing against the store's published :class:`MapEpoch` (rather
+        than the mutable live map) pins planning to one consistent map
+        version even if repartition transactions commit mid-ranking.
+        """
+        epoch = self.router.store.current_epoch
         if operations is None:
-            operations = diff_plan(self.router.partition_map, plan)
+            operations = diff_plan(epoch, plan)
         return generate_and_rank(
             operations,
             plan,
-            self.router.partition_map,
+            epoch,
             profile,
             self.cost_model,
         )

@@ -13,6 +13,11 @@ into the system at three points:
 The base class implements the bookkeeping every strategy shares:
 marking repartition transactions done when they commit, whether they ran
 standalone or piggybacked on a carrier.
+
+Schedulers never touch the partition map themselves: they only decide
+when repartition transactions run, and every placement change those
+transactions make is staged and atomically published through the
+:class:`~repro.routing.epoch.PartitionMapStore` at commit.
 """
 
 from __future__ import annotations

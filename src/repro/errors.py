@@ -15,6 +15,11 @@ class RoutingError(ReproError):
     """The query router could not resolve a key to a partition."""
 
 
+class EpochError(ReproError):
+    """Epoch/staging misuse: closed stage reused, expired epoch read,
+    unbalanced pin/unpin, or a stage published against the wrong store."""
+
+
 class StorageError(ReproError):
     """A storage-level operation failed (missing tuple, duplicate, ...)."""
 
@@ -107,6 +112,31 @@ class TwoPhaseAbort(TransactionAborted):
         self.no_votes = no_votes
         self.down = down
         self.timed_out = timed_out
+
+
+class StaleRouteAbort(TransactionAborted):
+    """A transaction's pinned-epoch route no longer matches the map.
+
+    Raised (under the ``"abort"`` stale-route policy) when a concurrent
+    migration publishes a new epoch between a transaction's routing
+    decision and its lock grant or commit.  Retryable: the transaction
+    manager re-enqueues the victim with backoff, and the fresh attempt
+    pins the new epoch and routes correctly.
+    """
+
+    cause = "stale_route"
+
+    def __init__(
+        self, txn_id: int, key: object, partition: int
+    ) -> None:
+        TransactionAborted.__init__(
+            self,
+            txn_id,
+            f"route for tuple {key!r} via partition {partition} is stale "
+            f"(partition map epoch advanced)",
+        )
+        self.key = key
+        self.partition = partition
 
 
 class InjectedFault(TransactionAborted):

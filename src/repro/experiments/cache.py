@@ -38,7 +38,10 @@ if TYPE_CHECKING:  # pragma: no cover
 #: old entries then miss instead of resurrecting stale results.
 #: v2: fault injection (IntervalRecord gained aborted_by_cause/retries/
 #: degradation fields; retry timing switched to exponential backoff).
-CACHE_SCHEMA_VERSION = 2
+#: v3: epoch-versioned partition maps (IntervalRecord gained
+#: epoch_publishes/forwarded_reads/stale_route_retries; RuntimeConfig
+#: gained stale_route_policy/epoch_log_limit, which change the hash).
+CACHE_SCHEMA_VERSION = 3
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"

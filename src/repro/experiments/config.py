@@ -83,6 +83,15 @@ class RuntimeConfig:
     retry_backoff_factor: float = 2.0
     max_retry_delay_s: float = 10.0
     retry_jitter: float = 0.0
+    #: What a transaction does when a tuple it routed moved under it:
+    #: ``"follow"`` re-routes to the tuple's new home (the paper's
+    #: forwarding behaviour); ``"abort"`` raises a retryable
+    #: ``stale_route`` abort judged against the epoch pinned at
+    #: admission (optimistic routing validation, an ablation).
+    stale_route_policy: str = "follow"
+    #: Bound on the partition-map store's epoch delta log; epochs older
+    #: than the window (and unpinned) become unreadable.
+    epoch_log_limit: int = 1024
 
     def __post_init__(self) -> None:
         if self.interval_s <= 0:
@@ -91,6 +100,13 @@ class RuntimeConfig:
             raise ConfigError("bad interval counts")
         if self.queue_timeout_s is not None and self.queue_timeout_s <= 0:
             raise ConfigError("queue timeout must be positive or None")
+        if self.stale_route_policy not in ("follow", "abort"):
+            raise ConfigError(
+                f"unknown stale_route_policy {self.stale_route_policy!r}; "
+                "expected 'follow' or 'abort'"
+            )
+        if self.epoch_log_limit < 1:
+            raise ConfigError("epoch log limit must be >= 1")
 
 
 @dataclass(frozen=True)

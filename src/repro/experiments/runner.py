@@ -30,6 +30,7 @@ from ..metrics.collectors import IntervalRecord, MetricsCollector
 from ..metrics.report import summarise
 from ..partitioning.cost_model import CostModel
 from ..partitioning.optimizer import RepartitionOptimizer
+from ..routing.epoch import PartitionMapStore
 from ..routing.router import QueryRouter
 from ..sim.environment import Environment
 from ..sim.events import Event
@@ -65,6 +66,7 @@ class System:
     cluster: Cluster
     profile: WorkloadProfile
     distributed_type_ids: set[int]
+    store: PartitionMapStore
     router: QueryRouter
     cost_model: CostModel
     executor: TransactionExecutor
@@ -158,7 +160,10 @@ def build_system(config: ExperimentConfig) -> System:
     load_stores(cluster, pmap, PlacementConfig(alpha=config.alpha),
                 streams.stream("values"))
 
-    router = QueryRouter(pmap)
+    store = PartitionMapStore(
+        pmap, max_delta_log=config.runtime.epoch_log_limit
+    )
+    router = QueryRouter(store)
     cost_model = CostModel(
         base_cost=config.cost.base_cost,
         rep_op_cost=config.cost.rep_op_cost,
@@ -178,10 +183,13 @@ def build_system(config: ExperimentConfig) -> System:
             ),
             isolation=config.runtime.isolation,
             per_txn_overhead_units=config.runtime.per_txn_overhead_units,
+            stale_route_policy=config.runtime.stale_route_policy,
         ),
         rng=streams.stream("failures"),
     )
     metrics = MetricsCollector(env, interval_s=config.runtime.interval_s)
+    store.on_publish = lambda _epoch: metrics.record_epoch_publish()
+    router.on_forwarded_read = lambda _key: metrics.record_forwarded_read()
     tm = TransactionManager(
         env,
         executor,
@@ -247,6 +255,7 @@ def build_system(config: ExperimentConfig) -> System:
         cluster=cluster,
         profile=profile,
         distributed_type_ids=distributed_ids,
+        store=store,
         router=router,
         cost_model=cost_model,
         executor=executor,
@@ -277,7 +286,7 @@ def start_repartitioning(
         if t.type_id in system.distributed_type_ids
     ]
     plan = optimizer.derive_plan(
-        system.profile, system.router.partition_map, types_to_fix
+        system.profile, system.router.store.current_epoch, types_to_fix
     )
     normal_cost_hint = max(
         system.arrival_rate_txn_per_s

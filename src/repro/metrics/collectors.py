@@ -69,6 +69,13 @@ class IntervalRecord:
 
     queue_length_end: int = 0
 
+    #: Map epochs published this interval (epoch churn).
+    epoch_publishes: int = 0
+    #: Reads forwarded past a just-migrated replica this interval.
+    forwarded_reads: int = 0
+    #: Retries of transactions aborted with the ``stale_route`` cause.
+    stale_route_retries: int = 0
+
     # ------------------------------------------------------------------
     # Derived series (the paper's y-axes)
     # ------------------------------------------------------------------
@@ -221,6 +228,16 @@ class MetricsCollector:
     def record_retry(self, txn: Transaction) -> None:
         """An aborted transaction was re-enqueued for another attempt."""
         self._current.retries += 1
+        if txn.abort_cause == "stale_route":
+            self._current.stale_route_retries += 1
+
+    def record_epoch_publish(self) -> None:
+        """A new partition-map epoch was published (epoch churn)."""
+        self._current.epoch_publishes += 1
+
+    def record_forwarded_read(self) -> None:
+        """A read was forwarded past a just-migrated replica."""
+        self._current.forwarded_reads += 1
 
     # ------------------------------------------------------------------
     # Fault-injection notifications (degradation accounting)

@@ -40,6 +40,9 @@ INTERVAL_FIELDS = (
     "retries",
     "degraded_s",
     "committed_degraded",
+    "epoch_publishes",
+    "forwarded_reads",
+    "stale_route_retries",
     # Derived series (the paper's y-axes):
     "rep_rate",
     "throughput_txn_per_min",

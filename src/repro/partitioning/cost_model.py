@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
 from ..errors import ConfigError
-from ..routing.partition_map import PartitionMap
+from ..routing.epoch import MapView
 from ..types import PartitionId, TupleKey
 from .operations import RepartitionOperation
 from .plan import PartitionPlan
@@ -83,7 +83,7 @@ class CostModel:
         return self.base_cost * DISTRIBUTED_COST_FACTOR
 
     def partitions_under_map(
-        self, keys: Sequence[TupleKey], current: PartitionMap
+        self, keys: Sequence[TupleKey], current: MapView
     ) -> frozenset[PartitionId]:
         """Partitions the keys occupy under the current map."""
         return frozenset(current.primary_of(key) for key in keys)
@@ -92,7 +92,7 @@ class CostModel:
         self,
         keys: Sequence[TupleKey],
         plan: PartitionPlan,
-        current: PartitionMap,
+        current: MapView,
     ) -> frozenset[PartitionId]:
         """Partitions the keys will occupy once ``plan`` is deployed."""
         return frozenset(
@@ -100,7 +100,7 @@ class CostModel:
         )
 
     def cost_under_map(
-        self, keys: Sequence[TupleKey], current: PartitionMap
+        self, keys: Sequence[TupleKey], current: MapView
     ) -> float:
         """``C_i(O)``: the type's cost under the current placement."""
         return self.txn_cost(len(self.partitions_under_map(keys, current)))
@@ -109,7 +109,7 @@ class CostModel:
         self,
         keys: Sequence[TupleKey],
         plan: PartitionPlan,
-        current: PartitionMap,
+        current: MapView,
     ) -> float:
         """``C_i(P)``: the type's cost once the plan is deployed."""
         return self.txn_cost(
@@ -120,7 +120,7 @@ class CostModel:
         self,
         ttype: TransactionType,
         plan: PartitionPlan,
-        current: PartitionMap,
+        current: MapView,
     ) -> float:
         """``C_i(O) − C_i(P)`` for one transaction type (can be <= 0)."""
         return self.cost_under_map(ttype.keys, current) - self.cost_under_plan(
@@ -155,7 +155,7 @@ class CostModel:
     def expected_cost_per_txn(
         self,
         types: Iterable[TransactionType],
-        current: PartitionMap,
+        current: MapView,
         plan: Optional[PartitionPlan] = None,
     ) -> float:
         """Frequency-weighted mean transaction cost under map (or plan)."""

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional, Sequence
 
 from ..errors import ConfigError
-from ..routing.partition_map import PartitionMap
+from ..routing.epoch import MapView
 from ..types import PartitionId
 from .cost_model import CostModel
 from .plan import PartitionPlan
@@ -62,7 +62,7 @@ class RepartitionOptimizer:
         self,
         arrival_rate_txn_per_s: float,
         profile: WorkloadProfile,
-        current: PartitionMap,
+        current: MapView,
         capacity_units_per_s: float,
     ) -> bool:
         """Whether estimated utilisation breaches the threshold."""
@@ -80,7 +80,7 @@ class RepartitionOptimizer:
     def derive_plan(
         self,
         profile: WorkloadProfile,
-        current: PartitionMap,
+        current: MapView,
         types_to_fix: Optional[Sequence[TransactionType]] = None,
     ) -> PartitionPlan:
         """Collocate each (selected) type's tuples on one partition.
@@ -128,7 +128,7 @@ class RepartitionOptimizer:
         return plan
 
     def _current_home(
-        self, ttype: TransactionType, current: PartitionMap
+        self, ttype: TransactionType, current: MapView
     ) -> PartitionId:
         """The partition carrying the type's work now (majority partition)."""
         counts: dict[PartitionId, int] = {}
@@ -140,7 +140,7 @@ class RepartitionOptimizer:
     def _choose_target(
         self,
         ttype: TransactionType,
-        current: PartitionMap,
+        current: MapView,
         load: dict[PartitionId, float],
     ) -> PartitionId:
         """Pick the collocation target for one type.

@@ -20,7 +20,7 @@ from itertools import count
 from typing import TYPE_CHECKING, Sequence
 
 from ..errors import PartitioningError
-from ..routing.partition_map import PartitionMap
+from ..routing.epoch import MapView
 from ..types import PartitionId, TupleKey
 from .cost_model import CostModel
 from .operations import CreateReplica, DeleteReplica, RepartitionOperation
@@ -77,7 +77,7 @@ class ReadReplicationPlanner:
     def plan_replication(
         self,
         profile: "WorkloadProfile",
-        current: PartitionMap,
+        current: MapView,
         start_op_id: int = 0,
     ) -> list[RepartitionOperation]:
         """CreateReplica ops bringing hot keys to the target count."""
@@ -115,7 +115,7 @@ class ReadReplicationPlanner:
     def plan_cleanup(
         self,
         profile: "WorkloadProfile",
-        current: PartitionMap,
+        current: MapView,
         start_op_id: int = 0,
     ) -> list[RepartitionOperation]:
         """DeleteReplica ops removing extra copies of no-longer-hot keys."""

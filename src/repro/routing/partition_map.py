@@ -9,7 +9,7 @@ is that mapping.  Replicas of a tuple always live on distinct partitions
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterator, Optional, Sequence
 
 from ..errors import RoutingError
 from ..types import PartitionId, TupleKey
@@ -20,6 +20,11 @@ class PartitionMap:
 
     def __init__(self) -> None:
         self._replicas: dict[TupleKey, list[PartitionId]] = {}
+        #: Per-partition replica counts, maintained incrementally so
+        #: :meth:`partition_sizes` is O(partitions) instead of
+        #: O(tuples × replicas) — the optimizer's balance check calls it
+        #: in a loop.
+        self._sizes: dict[PartitionId, int] = {}
         self.version = 0
 
     def __len__(self) -> int:
@@ -51,21 +56,25 @@ class PartitionMap:
         return len(self.replicas_of(key))
 
     def partition_sizes(self) -> dict[PartitionId, int]:
-        """Replica counts per partition (for balance checks)."""
-        sizes: dict[PartitionId, int] = {}
-        for replicas in self._replicas.values():
-            for pid in replicas:
-                sizes[pid] = sizes.get(pid, 0) + 1
-        return sizes
+        """Replica counts per partition (for balance checks); O(partitions)."""
+        return dict(self._sizes)
 
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
+    def _size_delta(self, partition_id: PartitionId, delta: int) -> None:
+        n = self._sizes.get(partition_id, 0) + delta
+        if n <= 0:
+            self._sizes.pop(partition_id, None)
+        else:
+            self._sizes[partition_id] = n
+
     def assign(self, key: TupleKey, partition_id: PartitionId) -> None:
         """Initial placement of ``key`` with a single replica."""
         if key in self._replicas:
             raise RoutingError(f"tuple {key} is already mapped")
         self._replicas[key] = [partition_id]
+        self._size_delta(partition_id, +1)
         self.version += 1
 
     def add_replica(self, key: TupleKey, partition_id: PartitionId) -> None:
@@ -78,6 +87,7 @@ class PartitionMap:
                 f"tuple {key} already has a replica on partition {partition_id}"
             )
         replicas.append(partition_id)
+        self._size_delta(partition_id, +1)
         self.version += 1
 
     def remove_replica(self, key: TupleKey, partition_id: PartitionId) -> None:
@@ -97,6 +107,7 @@ class PartitionMap:
                 f"cannot remove the last replica of tuple {key}"
             )
         replicas.remove(partition_id)
+        self._size_delta(partition_id, -1)
         self.version += 1
 
     def move(
@@ -115,11 +126,36 @@ class PartitionMap:
                 f"tuple {key} already has a replica on partition {destination}"
             )
         replicas[replicas.index(source)] = destination
+        self._size_delta(source, -1)
+        self._size_delta(destination, +1)
+        self.version += 1
+
+    def set_replicas(
+        self, key: TupleKey, replicas: Optional[Sequence[PartitionId]]
+    ) -> None:
+        """Install ``key``'s whole replica list (``None`` unmaps it).
+
+        This is the :class:`~repro.routing.epoch.PartitionMapStore`'s
+        delta-application hook; it skips the per-operation invariants
+        (the store validated them at stage time) but keeps the size
+        counters and version in step.
+        """
+        old = self._replicas.get(key)
+        if old is not None:
+            for pid in old:
+                self._size_delta(pid, -1)
+        if replicas is None:
+            self._replicas.pop(key, None)
+        else:
+            self._replicas[key] = list(replicas)
+            for pid in replicas:
+                self._size_delta(pid, +1)
         self.version += 1
 
     def copy(self) -> "PartitionMap":
         """Deep copy (used to freeze 'the original plan O' for costing)."""
         clone = PartitionMap()
         clone._replicas = {k: list(v) for k, v in self._replicas.items()}
+        clone._sizes = dict(self._sizes)
         clone.version = self.version
         return clone

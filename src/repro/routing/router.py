@@ -4,21 +4,32 @@ Responsibilities (paper §2.1): maintain the partition map, decide which
 replica a read visits, route writes to every replica, and — during
 repartitioning — apply the repartitioner's map updates atomically at
 repartition-transaction commit.
+
+Since the epoch refactor the router no longer owns a bare mutable map:
+it routes against a :class:`~repro.routing.epoch.PartitionMapStore`.
+Every routing call resolves through a :class:`MapEpoch` snapshot — the
+current epoch by default, or an explicit (typically transaction-pinned)
+epoch passed by the executor.  The router never mutates the map; all
+placement changes are staged and published through the store.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Iterable, Optional
+from typing import Callable, Iterable, Optional, Union
 
 from ..errors import RoutingError
 from ..types import AccessMode, PartitionId, TupleKey
+from .epoch import MapEpoch, PartitionMapStore
 from .partition_map import PartitionMap
 from .query import Query
 
 
 class QueryRouter:
-    """Routes single-tuple queries using a :class:`PartitionMap`.
+    """Routes single-tuple queries using a :class:`PartitionMapStore`.
+
+    Accepts either a store or a bare :class:`PartitionMap` (which is
+    wrapped into a fresh store) for construction convenience.
 
     ``read_policy`` selects which replica serves a read:
 
@@ -29,7 +40,7 @@ class QueryRouter:
 
     def __init__(
         self,
-        partition_map: PartitionMap,
+        partition_map: Union[PartitionMap, PartitionMapStore],
         read_policy: str = "primary",
         rng: Optional[random.Random] = None,
     ) -> None:
@@ -37,42 +48,77 @@ class QueryRouter:
             raise RoutingError(f"unknown read policy {read_policy!r}")
         if read_policy == "random" and rng is None:
             raise RoutingError("random read policy requires an rng")
-        self.partition_map = partition_map
+        if isinstance(partition_map, PartitionMapStore):
+            self.store = partition_map
+        else:
+            self.store = PartitionMapStore(partition_map)
         self.read_policy = read_policy
         self._rng = rng
         self.reads_routed = 0
         self.writes_routed = 0
+        #: Reads that landed on a partition the tuple had just migrated
+        #: away from and were forwarded to its new home.
+        self.forwarded_reads = 0
+        #: Observer for forwarded reads (wired to the metrics collector).
+        self.on_forwarded_read: Optional[Callable[[TupleKey], None]] = None
+
+    @property
+    def partition_map(self) -> PartitionMap:
+        """The live map behind the store (read-only compatibility view)."""
+        return self.store.live_map
 
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
-    def route_read(self, key: TupleKey) -> PartitionId:
-        """Partition that serves a read of ``key``."""
+    def _view(self, epoch: Optional[MapEpoch]) -> MapEpoch:
+        return epoch if epoch is not None else self.store.current_epoch
+
+    def route_read(
+        self, key: TupleKey, epoch: Optional[MapEpoch] = None
+    ) -> PartitionId:
+        """Partition that serves a read of ``key`` under ``epoch``."""
         self.reads_routed += 1
-        replicas = self.partition_map.replicas_of(key)
+        replicas = self._view(epoch).replicas_of(key)
         if self.read_policy == "primary" or len(replicas) == 1:
             return replicas[0]
         assert self._rng is not None
         return self._rng.choice(replicas)
 
-    def route_write(self, key: TupleKey) -> tuple[PartitionId, ...]:
+    def route_write(
+        self, key: TupleKey, epoch: Optional[MapEpoch] = None
+    ) -> tuple[PartitionId, ...]:
         """Partitions a write of ``key`` must update (all replicas)."""
         self.writes_routed += 1
-        return self.partition_map.replicas_of(key)
+        return self._view(epoch).replicas_of(key)
 
-    def route_query(self, query: Query) -> tuple[PartitionId, ...]:
+    def route_query(
+        self, query: Query, epoch: Optional[MapEpoch] = None
+    ) -> tuple[PartitionId, ...]:
         """Partitions ``query`` touches."""
         if query.mode is AccessMode.READ:
-            return (self.route_read(query.key),)
-        return self.route_write(query.key)
+            return (self.route_read(query.key, epoch),)
+        return self.route_write(query.key, epoch)
 
-    def partitions_for(self, queries: Iterable[Query]) -> frozenset[PartitionId]:
+    def partitions_for(
+        self, queries: Iterable[Query], epoch: Optional[MapEpoch] = None
+    ) -> frozenset[PartitionId]:
         """The set of partitions a whole transaction touches."""
         involved: set[PartitionId] = set()
         for query in queries:
-            involved.update(self.route_query(query))
+            involved.update(self.route_query(query, epoch))
         return frozenset(involved)
 
-    def is_distributed(self, queries: Iterable[Query]) -> bool:
+    def is_distributed(
+        self, queries: Iterable[Query], epoch: Optional[MapEpoch] = None
+    ) -> bool:
         """Whether the transaction spans more than one partition."""
-        return len(self.partitions_for(queries)) > 1
+        return len(self.partitions_for(queries, epoch)) > 1
+
+    # ------------------------------------------------------------------
+    # Migration-aware bookkeeping
+    # ------------------------------------------------------------------
+    def note_forwarded_read(self, key: TupleKey) -> None:
+        """Record one read forwarded past a just-migrated replica."""
+        self.forwarded_reads += 1
+        if self.on_forwarded_read is not None:
+            self.on_forwarded_read(key)

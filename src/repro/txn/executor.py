@@ -33,6 +33,7 @@ from ..errors import (
     InjectedFault,
     LockTimeout,
     NodeDownError,
+    StaleRouteAbort,
     TransactionAborted,
     TwoPhaseAbort,
 )
@@ -44,6 +45,7 @@ from ..partitioning.operations import (
     Migrate,
     RepartitionOperation,
 )
+from ..routing.epoch import EpochStage, MapEpoch
 from ..routing.query import Query
 from ..routing.router import QueryRouter
 from ..sim.events import Event
@@ -78,6 +80,16 @@ class ExecutorConfig:
     #: transactions multiply this overhead, one giant transaction
     #: amortises it but monopolises locks.
     per_txn_overhead_units: float = 0.0
+    #: What to do when a concurrent migration invalidates a route between
+    #: the routing decision and the lock grant (or, for read-committed
+    #: reads, the commit):
+    #:
+    #: * ``"follow"`` (default) — re-route and forward to the tuple's
+    #:   new home, the paper-faithful behaviour;
+    #: * ``"abort"`` — route against the transaction's pinned epoch and
+    #:   abort with the retryable ``stale_route`` cause, surfacing map
+    #:   churn to the retry/backoff machinery instead of hiding it.
+    stale_route_policy: str = "follow"
 
     def __post_init__(self) -> None:
         if self.lock_timeout_s is not None and self.lock_timeout_s <= 0:
@@ -88,6 +100,10 @@ class ExecutorConfig:
             raise ValueError(f"unknown isolation level {self.isolation!r}")
         if self.per_txn_overhead_units < 0:
             raise ValueError("per-transaction overhead cannot be negative")
+        if self.stale_route_policy not in ("follow", "abort"):
+            raise ValueError(
+                f"unknown stale-route policy {self.stale_route_policy!r}"
+            )
 
 
 class _Journal:
@@ -174,10 +190,26 @@ class TransactionExecutor:
         touched_nodes: set[DataNode] = set()
         undo_log: list[tuple[str, DataNode, int, int, int]] = []
         journal = _Journal(txn)
+        store = self.router.store
+        # Pin the map epoch the transaction was admitted under: routing
+        # decisions can be validated (and, under the "abort" policy,
+        # enforced) against this snapshot for the whole attempt.
+        pinned = store.pin()
+        txn.pinned_epoch_id = pinned.epoch_id
+        stage: Optional[EpochStage] = None
+        #: (key, partition) pairs reads actually used, for the commit-time
+        #: stale check under the "abort" policy.
+        read_routes: list[tuple[int, PartitionId]] = []
 
         try:
-            query_partitions = self.router.partitions_for(txn.queries)
+            query_partitions = self.router.partitions_for(
+                txn.queries, self._routing_epoch(pinned)
+            )
             effective_ops = self._effective_ops(txn)
+            if effective_ops:
+                # All map changes of this transaction accumulate in one
+                # stage, published atomically at commit.
+                stage = store.begin_stage(owner=txn.txn_id)
             op_partitions: set[PartitionId] = set()
             for op in effective_ops:
                 op_partitions.update(self._op_partitions(op))
@@ -204,12 +236,13 @@ class TransactionExecutor:
             for query in txn.queries:
                 yield from self._execute_query(
                     txn, query, per_query_work, touched_nodes, undo_log,
-                    journal,
+                    journal, pinned, read_routes,
                 )
 
             for op in effective_ops:
+                assert stage is not None
                 yield from self._execute_rep_op(
-                    txn, op, touched_nodes, undo_log, journal
+                    txn, op, stage, touched_nodes, undo_log, journal
                 )
 
             # Commit across the partitions actually touched (re-routing
@@ -241,7 +274,16 @@ class TransactionExecutor:
             # yet, so aborting here is still safe on every node.
             self._check_touched_alive(txn, touched_nodes)
 
-            self._apply_commit_effects(txn, effective_ops, journal)
+            # Commit-time stale check: under read_committed a read lock
+            # is released early, so a migration may have invalidated the
+            # partition the read used while this transaction ran.
+            if self.config.stale_route_policy == "abort":
+                current = store.current_epoch
+                for key, pid in read_routes:
+                    if pid not in current.replicas_of(key):
+                        raise StaleRouteAbort(txn.txn_id, key, pid)
+
+            self._apply_commit_effects(txn, effective_ops, stage, journal)
             journal.close(committed=True)
             txn.status = TxnStatus.COMMITTED
             txn.finished_at = self.env.now
@@ -256,6 +298,12 @@ class TransactionExecutor:
             txn.finished_at = self.env.now
             return False
         finally:
+            # An unpublished stage (abort, crash, injected fault) is
+            # dropped cleanly: its MOVING marks vanish and the published
+            # map never sees it.
+            if stage is not None and not stage.published:
+                store.discard(stage)
+            store.unpin(pinned)
             # Release in node-id order: iterating the set directly would
             # make lock-grant order (and thus the whole run) depend on
             # object identity, breaking determinism across runs.
@@ -265,6 +313,17 @@ class TransactionExecutor:
     # ------------------------------------------------------------------
     # Query execution
     # ------------------------------------------------------------------
+    def _routing_epoch(self, pinned: MapEpoch) -> Optional[MapEpoch]:
+        """The epoch queries route against (None = always-current).
+
+        The "abort" policy routes from the transaction's pinned snapshot
+        so concurrent map churn surfaces as a stale-route abort; the
+        "follow" policy routes from the live current epoch and forwards.
+        """
+        if self.config.stale_route_policy == "abort":
+            return pinned
+        return None
+
     def _execute_query(
         self,
         txn: Transaction,
@@ -273,19 +332,31 @@ class TransactionExecutor:
         touched_nodes: set[DataNode],
         undo_log: list[tuple[str, DataNode, int, int, int]],
         journal: _Journal,
+        pinned: MapEpoch,
+        read_routes: list[tuple[int, PartitionId]],
     ) -> Generator[Event, Any, None]:
+        abort_on_stale = self.config.stale_route_policy == "abort"
+        routing_epoch = self._routing_epoch(pinned)
         if query.mode is AccessMode.READ:
             # Route, lock, then re-validate: a concurrent migration may
             # commit between the routing decision and the lock grant, in
             # which case we follow the tuple to its new home (the stale
-            # lock is harmless and released at the end).
+            # lock is harmless and released at the end) — or, under the
+            # "abort" policy, surface the stale route as a retryable
+            # abort instead of silently chasing the tuple.
             while True:
-                pid = self.router.route_read(query.key)
+                pid = self.router.route_read(query.key, routing_epoch)
                 node = self.cluster.node_for_partition(pid)
                 touched_nodes.add(node)
                 yield from self._lock(txn, node, query.key, LockMode.SHARED)
-                if pid in self.router.partition_map.replicas_of(query.key):
+                current = self.router.store.current_epoch
+                if pid in current.replicas_of(query.key):
                     break
+                if abort_on_stale:
+                    raise StaleRouteAbort(txn.txn_id, query.key, pid)
+                self.router.note_forwarded_read(query.key)
+            if abort_on_stale:
+                read_routes.append((query.key, pid))
             yield from node.work(work_units)
             txn.normal_cost_units += work_units
             node.store.read(query.key)
@@ -297,17 +368,21 @@ class TransactionExecutor:
             return
 
         while True:
-            replica_pids = self.router.route_write(query.key)
+            replica_pids = self.router.route_write(query.key, routing_epoch)
             for pid in replica_pids:
                 node = self.cluster.node_for_partition(pid)
                 touched_nodes.add(node)
                 yield from self._lock(
                     txn, node, query.key, LockMode.EXCLUSIVE
                 )
-            current = self.router.partition_map.replicas_of(query.key)
+            current = self.router.store.current_epoch.replicas_of(query.key)
             if set(current) <= set(replica_pids):
                 replica_pids = current
                 break
+            if abort_on_stale:
+                raise StaleRouteAbort(
+                    txn.txn_id, query.key, replica_pids[0]
+                )
         primary_node = self.cluster.node_for_partition(replica_pids[0])
         # Work is charged at the primary; replica maintenance is free in
         # the model (the paper evaluates single-replica placements).
@@ -338,9 +413,9 @@ class TransactionExecutor:
         return self.cost_model.rep_op_cost
 
     def _effective_ops(self, txn: Transaction) -> list[RepartitionOperation]:
-        """Drop operations that the current map shows as already applied."""
+        """Drop operations that the current epoch shows as already applied."""
         effective = []
-        pmap = self.router.partition_map
+        pmap = self.router.store.current_epoch
         for op in txn.rep_ops:
             if isinstance(op, Migrate):
                 if pmap.primary_of(op.key) == op.destination:
@@ -358,8 +433,8 @@ class TransactionExecutor:
         return effective
 
     def _op_partitions(self, op: RepartitionOperation) -> frozenset[PartitionId]:
-        """Partitions an operation touches *under the current map*."""
-        pmap = self.router.partition_map
+        """Partitions an operation touches *under the current epoch*."""
+        pmap = self.router.store.current_epoch
         if isinstance(op, Migrate):
             return frozenset((pmap.primary_of(op.key), op.destination))
         return op.partitions_touched
@@ -368,10 +443,15 @@ class TransactionExecutor:
         self,
         txn: Transaction,
         op: RepartitionOperation,
+        stage: EpochStage,
         touched_nodes: set[DataNode],
         undo_log: list[tuple[str, DataNode, int, int, int]],
         journal: _Journal,
     ) -> Generator[Event, Any, None]:
+        # The tuple enters MOVING for the stage's lifetime: its placement
+        # is being changed by an uncommitted transaction, and the mark is
+        # dropped with the stage if that transaction aborts.
+        stage.mark_moving(op.key)
         if isinstance(op, Migrate):
             yield from self._execute_move(
                 txn, op, op.key, op.destination, touched_nodes, undo_log,
@@ -404,12 +484,12 @@ class TransactionExecutor:
     ) -> Generator[Event, Any, None]:
         dest_node = self.cluster.node_for_partition(destination)
         while True:
-            source = self.router.partition_map.primary_of(key)
+            source = self.router.store.current_epoch.primary_of(key)
             source_node = self.cluster.node_for_partition(source)
             touched_nodes.update((source_node, dest_node))
             yield from self._lock(txn, source_node, key, LockMode.EXCLUSIVE)
             yield from self._lock(txn, dest_node, key, LockMode.EXCLUSIVE)
-            if self.router.partition_map.primary_of(key) == source:
+            if self.router.store.current_epoch.primary_of(key) == source:
                 break
 
         half_work = self._op_work(txn) / 2
@@ -439,7 +519,7 @@ class TransactionExecutor:
         undo_log: list[tuple[str, DataNode, int, int, int]],
         journal: _Journal,
     ) -> Generator[Event, Any, None]:
-        source = self.router.partition_map.primary_of(key)
+        source = self.router.store.current_epoch.primary_of(key)
         source_node = self.cluster.node_for_partition(source)
         dest_node = self.cluster.node_for_partition(destination)
         touched_nodes.update((source_node, dest_node))
@@ -507,26 +587,34 @@ class TransactionExecutor:
         self,
         txn: Transaction,
         effective_ops: list[RepartitionOperation],
+        stage: Optional[EpochStage],
         journal: _Journal,
     ) -> None:
-        pmap = self.router.partition_map
+        """Stage each committed operation's map delta, then publish the
+        stage as one new epoch (the map change becomes visible to other
+        transactions atomically, not operation by operation)."""
         for op in effective_ops:
+            assert stage is not None
             if isinstance(op, Migrate):
-                source = pmap.primary_of(op.key)
+                # The stage overlay makes earlier ops of this same
+                # transaction visible to later source lookups.
+                source = stage.primary_of(op.key)
                 source_node = self.cluster.node_for_partition(source)
                 if op.key in source_node.store:
                     source_node.store.delete(op.key)
                     journal.delete(source_node, op.key)
-                pmap.move(op.key, source, op.destination)
+                stage.move(op.key, source, op.destination)
             elif isinstance(op, CreateReplica):
-                pmap.add_replica(op.key, op.destination)
+                stage.add_replica(op.key, op.destination)
             elif isinstance(op, DeleteReplica):
                 node = self.cluster.node_for_partition(op.partition)
                 if op.key in node.store:
                     node.store.delete(op.key)
                     journal.delete(node, op.key)
-                pmap.remove_replica(op.key, op.partition)
+                stage.remove_replica(op.key, op.partition)
             self._report_applied(op, txn)
+        if stage is not None:
+            self.router.store.publish(stage)
 
     def _report_applied(
         self, op: RepartitionOperation, txn: Transaction

@@ -9,6 +9,7 @@ import dataclasses
 
 from repro.experiments import (
     CACHE_DIR_ENV,
+    CACHE_SCHEMA_VERSION,
     CellReport,
     ResultCache,
     config_key,
@@ -120,6 +121,51 @@ class TestResultCache:
         assert config_key(config) != config_key(
             config.with_overrides(scheduler="AfterAll")
         )
+
+    def test_schema_is_v3(self):
+        # The epoch-versioned-map refactor changed the stored interval
+        # layout (epoch_publishes / forwarded_reads / stale_route_retries)
+        # and the hashed config (stale_route_policy / epoch_log_limit).
+        assert CACHE_SCHEMA_VERSION == 3
+
+    def test_old_schema_entry_is_ignored_not_misserved(self, tmp_path):
+        """A v2-era entry under the same config must miss, not resurrect.
+
+        Pre-v3 files are keyed by the old schema version in both the
+        hashed payload and the filename prefix, so even a structurally
+        readable old entry can never be looked up by a v3 cache.
+        """
+        import json
+
+        config = tiny(measure_intervals=3, warmup_intervals=1)
+        cache = ResultCache(tmp_path)
+        result = run_experiment(config)
+
+        # Recreate what a v2 cache would have written for this config:
+        # the old key mixes schema=2 into the hash and prefixes v2-.
+        import dataclasses as dc
+        import hashlib
+
+        old_payload = json.dumps(
+            {"schema": 2, "config": dc.asdict(config)},
+            sort_keys=True, separators=(",", ":"), default=repr,
+        )
+        old_key = hashlib.sha256(old_payload.encode("utf-8")).hexdigest()
+        old_path = tmp_path / f"v2-{old_key}.json"
+        from repro.metrics.export import result_to_state_dict
+
+        state = result_to_state_dict(result)
+        for interval in state["intervals"]:  # v2 records lacked the new fields
+            for field_name in (
+                "epoch_publishes", "forwarded_reads", "stale_route_retries",
+            ):
+                interval.pop(field_name)
+        old_path.write_text(json.dumps(state))
+
+        assert cache.get(config) is None  # v2 entry must not be served
+        assert cache.misses == 1
+        assert cache.path_for(config).name.startswith("v3-")
+        assert old_path.exists()  # old entries are ignored, not deleted
 
     def test_corrupt_entry_is_a_miss(self, tmp_path):
         config = tiny(measure_intervals=3, warmup_intervals=1)

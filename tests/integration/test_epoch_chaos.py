@@ -1,0 +1,234 @@
+"""Chaos tests for epoch-versioned maps: staged epochs must die cleanly.
+
+A node crash mid-repartition kills transactions that have already staged
+map deltas (an unpublished epoch).  The bar: every stage opened during
+the run is either published or discarded by the horizon, a discarded
+stage leaves no MOVING mark and none of its staged placements in the
+published map, and under the ``abort`` stale-route policy the
+``stale_route`` abort cause shows up in the per-interval metrics of a
+migration-heavy run.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.cluster import ClusterConfig
+from repro.experiments import bench_scale, run_experiment
+from repro.faults import parse_fault_schedule
+from repro.routing import MigrationState
+from repro.workload import WorkloadConfig
+
+from .test_chaos import run_system
+
+#: Crash node 1 right as the repartition burst is in full swing (the
+#: warmup interval ends at 20 s), restart it before the horizon.
+SCHEDULE = "30:crash:1,75:restart:1"
+
+
+def epoch_chaos_config(scheduler="ApplyAll", stale_route_policy="follow",
+                       seed=0, measure_intervals=5):
+    """Migration-heavy cell (ApplyAll floods repartition transactions)
+    with a crash injected while the deployment is in flight."""
+    config = bench_scale(
+        scheduler=scheduler,
+        seed=seed,
+        measure_intervals=measure_intervals,
+        warmup_intervals=1,
+        faults=parse_fault_schedule(SCHEDULE),
+    )
+    return dataclasses.replace(
+        config,
+        cluster=ClusterConfig(node_count=3, capacity_units_per_s=4.0),
+        workload=WorkloadConfig(
+            tuple_count=200,
+            distinct_types=40,
+            distribution=config.workload.distribution,
+        ),
+        runtime=dataclasses.replace(
+            config.runtime, stale_route_policy=stale_route_policy
+        ),
+    )
+
+
+def run_tracking_stages(config):
+    """Run the cell recording every stage handed out and what each one
+    still held at the moment it was discarded."""
+    from repro.experiments import build_system
+
+    system = build_system(config)
+    stages = []
+    dropped = []  # (stage, moving keys at discard, staged keys at discard)
+    original_begin = system.store.begin_stage
+    original_discard = system.store.discard
+
+    def tracking_begin_stage(owner=-1):
+        stage = original_begin(owner)
+        stages.append(stage)
+        return stage
+
+    def tracking_discard(stage):
+        if not (stage.published or stage.discarded):
+            dropped.append(
+                (stage, frozenset(stage._moving), stage.staged_keys)
+            )
+        original_discard(stage)
+
+    system.store.begin_stage = tracking_begin_stage
+    system.store.discard = tracking_discard
+
+    env = system.env
+    interval_s = config.runtime.interval_s
+    warmup_s = interval_s * config.runtime.warmup_intervals
+
+    def kickoff():
+        yield env.timeout(warmup_s)
+        from repro.experiments import start_repartitioning
+
+        start_repartitioning(system)
+
+    env.process(kickoff())
+    env.run(
+        until=warmup_s + interval_s * config.runtime.measure_intervals + 1e-9
+    )
+    return system, stages, dropped
+
+
+class TestStagedEpochDroppedOnCrash:
+    def test_crash_discards_staged_epochs_cleanly(self):
+        system, stages, dropped = run_tracking_stages(epoch_chaos_config())
+
+        # The crash was felt and repartition transactions died with it.
+        causes = {}
+        for record in system.metrics.intervals:
+            for cause, n in record.aborted_by_cause.items():
+                causes[cause] = causes.get(cause, 0) + n
+        assert causes.get("node_down", 0) > 0
+        rep_aborts = sum(r.rep_aborted for r in system.metrics.intervals)
+        assert rep_aborts > 0
+
+        # Every finished transaction closed its stage (published at
+        # commit, discarded at abort).  Stages may legitimately remain
+        # open only for transactions frozen in flight when the horizon
+        # cut the simulation — never for an aborted one.
+        assert stages, "no stage was ever opened"
+        open_stages = [
+            s for s in stages if not (s.published or s.discarded)
+        ]
+        assert len(open_stages) <= system.tm.in_flight
+        discarded = [s for s in stages if s.discarded]
+        assert discarded, "no staged epoch was ever dropped"
+        # At least one dropped stage held in-flight migration state —
+        # the scenario the test exists for (unpublished epoch at abort).
+        assert any(moving for _, moving, _ in dropped)
+
+        # No MOVING tuple leaked past its stage's lifetime: every
+        # MOVING mark still registered belongs to a still-open stage,
+        # and discard wiped each dropped stage's marks.
+        held_by_open = set()
+        for stage in open_stages:
+            held_by_open.update(stage._moving)
+        assert system.store.moving_keys() <= held_by_open
+        for stage in discarded:
+            assert not stage._moving
+
+        # A tuple a dead transaction was moving is MOVING now only if a
+        # *live* (still-open) stage is also relocating it.
+        for _, moving, _ in dropped:
+            for key in moving - held_by_open:
+                assert (
+                    system.store.migration_state(key)
+                    is not MigrationState.MOVING
+                )
+
+        # ...and the published map holds only committed placements:
+        # epoch count equals committed publishes, and the live map is
+        # structurally sound (every key mapped, no duplicate replicas).
+        assert system.store.epoch_id <= sum(
+            1 for s in stages if s.published
+        )
+        live = system.store.live_map
+        for key in live.keys():
+            replicas = live.replicas_of(key)
+            assert len(replicas) >= 1
+            assert len(set(replicas)) == len(replicas)
+
+    def test_live_map_reconstructs_from_published_epochs_only(self):
+        """The live map is exactly the initial placement plus the logged
+        (published) transitions — dropped stages contributed nothing."""
+        config = epoch_chaos_config()
+        # An untrimmable log so the full history is replayable.
+        config = dataclasses.replace(
+            config,
+            runtime=dataclasses.replace(config.runtime, epoch_log_limit=10**6),
+        )
+        from repro.experiments import build_system
+
+        initial = {
+            key: tuple(build_system(config).store.live_map.replicas_of(key))
+            for key in build_system(config).store.live_map.keys()
+        }
+        system, _, dropped = run_tracking_stages(config)
+        assert dropped, "no staged epoch was ever dropped"
+        replayed = dict(initial)
+        for transition in system.store.delta_log():
+            for delta in transition.deltas:
+                assert replayed.get(delta.key) == delta.before
+                if delta.after is None:
+                    replayed.pop(delta.key, None)
+                else:
+                    replayed[delta.key] = delta.after
+        live = system.store.live_map
+        assert replayed == {
+            key: tuple(live.replicas_of(key)) for key in live.keys()
+        }
+
+    def test_deterministic_under_chaos(self):
+        config = epoch_chaos_config(measure_intervals=3)
+        first = run_experiment(config)
+        second = run_experiment(config)
+        assert first.summary == second.summary
+        for a, b in zip(first.intervals, second.intervals):
+            assert dataclasses.asdict(a) == dataclasses.asdict(b)
+
+
+class TestStaleRouteUnderMigrationChaos:
+    def test_stale_route_cause_surfaces_in_intervals(self):
+        """Under the ``abort`` policy, a migration-heavy chaos run aborts
+        at least one transaction with the ``stale_route`` cause, and the
+        cause reaches the per-interval metrics."""
+        system = run_system(
+            epoch_chaos_config(stale_route_policy="abort")
+        )
+        intervals = system.metrics.intervals
+        stale = sum(
+            r.aborted_by_cause.get("stale_route", 0) for r in intervals
+        )
+        assert stale > 0
+        # stale_route aborts are retryable and feed the retry pipeline.
+        assert sum(r.stale_route_retries for r in intervals) > 0
+
+    def test_follow_policy_forwards_instead(self):
+        """The default policy forwards stale reads rather than aborting:
+        same cell, zero stale_route aborts, forwarded reads counted."""
+        system = run_system(epoch_chaos_config(stale_route_policy="follow"))
+        intervals = system.metrics.intervals
+        assert all(
+            "stale_route" not in r.aborted_by_cause for r in intervals
+        )
+        assert sum(r.forwarded_reads for r in intervals) > 0
+
+    def test_epoch_publishes_counted(self):
+        system = run_system(epoch_chaos_config())
+        published = sum(
+            r.epoch_publishes for r in system.metrics.intervals
+        )
+        assert published == system.store.publishes
+        assert published > 0
+
+
+@pytest.mark.parametrize("policy", ["follow", "abort"])
+def test_progress_under_both_policies(policy):
+    system = run_system(epoch_chaos_config(stale_route_policy=policy))
+    assert sum(r.committed for r in system.metrics.intervals) > 0
+    assert all(not node.is_down for node in system.cluster.nodes)
