@@ -1,0 +1,178 @@
+"""Schema and regression guard for ``BENCH_engine.json``.
+
+Two subcommands, both used by the perf-smoke CI job and importable from
+the benchmark harness itself:
+
+``check-schema [PATH]``
+    Validate that the benchmark file carries every required field with
+    the right type (including the provenance fields — ``cpu_count`` and
+    the null-when-unmeasurable parallel section), exit 1 otherwise.
+
+``compare BASELINE FRESH [--threshold 0.2]``
+    Fail (exit 1) when a fresh run's kernel throughput regresses more
+    than ``threshold`` (default 20%) against the committed baseline.
+    Comparing numbers from different machines is meaningless, so the
+    comparison is *skipped* (exit 0, with a message) unless the two
+    files agree on ``cpu_count`` and the python major.minor version.
+
+Wall-clock sections (cells, cache) are recorded for trajectory but not
+gated: they are far noisier than the pure kernel loop on shared CI
+hardware.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any
+
+#: Required fields and their accepted types.  ``None`` is legal exactly
+#: where a 1-core box cannot measure a speedup honestly.
+REQUIRED_FIELDS: dict[str, tuple[type, ...]] = {
+    "recorded_at": (str,),
+    "python": (str,),
+    "cpu_count": (int,),
+    "parallel_jobs": (int,),
+    "kernel_events_per_s": (int, float),
+    "kernel_mixed_events_per_s": (int, float),
+    "kernel_run_intervals_events_per_s": (int, float),
+    "standard_cell_wall_clock_s": (int, float),
+    "figure4_scale_cells": (int,),
+    "serial_wall_clock_s": (int, float),
+    "parallel_wall_clock_s": (int, float, type(None)),
+    "parallel_speedup": (int, float, type(None)),
+    "parallel_skipped_reason": (str, type(None)),
+    "speedup_by_jobs": (dict, type(None)),
+    "cache_cold_wall_clock_s": (int, float),
+    "cache_warm_wall_clock_s": (int, float),
+    "cache_warm_executed": (int,),
+    "cache_warm_hits": (int,),
+}
+
+#: The kernel metrics the regression gate protects.
+KERNEL_METRICS = (
+    "kernel_events_per_s",
+    "kernel_mixed_events_per_s",
+    "kernel_run_intervals_events_per_s",
+)
+
+
+def validate_schema(payload: Any) -> list[str]:
+    """Problems with ``payload`` as a benchmark document (empty = valid)."""
+    if not isinstance(payload, dict):
+        return [f"payload is {type(payload).__name__}, expected an object"]
+    problems = []
+    for name, types in REQUIRED_FIELDS.items():
+        if name not in payload:
+            problems.append(f"missing field: {name}")
+        elif not isinstance(payload[name], types) or isinstance(
+            payload[name], bool
+        ):
+            problems.append(
+                f"field {name} has type {type(payload[name]).__name__}, "
+                f"expected {'/'.join(t.__name__ for t in types)}"
+            )
+    if not problems:
+        # The parallel section must be null *consistently*: either the
+        # speedup was measured, or a reason says why it was not.
+        if (payload["parallel_speedup"] is None) != (
+            payload["parallel_skipped_reason"] is not None
+        ):
+            problems.append(
+                "parallel_speedup must be null iff "
+                "parallel_skipped_reason is set"
+            )
+        if payload["cpu_count"] < 2 and payload["parallel_speedup"] is not None:
+            problems.append(
+                "parallel_speedup must be null when cpu_count < 2 "
+                "(a single-core 'speedup' is timesharing noise)"
+            )
+    return problems
+
+
+def _python_minor(version: str) -> str:
+    return ".".join(version.split(".")[:2])
+
+
+def compare(
+    baseline: dict, fresh: dict, threshold: float = 0.2
+) -> tuple[int, list[str]]:
+    """(exit code, messages) for a baseline-vs-fresh regression check."""
+    messages = []
+    if baseline.get("cpu_count") != fresh.get("cpu_count"):
+        return 0, [
+            "skip: cpu_count differs "
+            f"(baseline {baseline.get('cpu_count')}, "
+            f"fresh {fresh.get('cpu_count')}) — not comparable hardware"
+        ]
+    if _python_minor(baseline.get("python", "")) != _python_minor(
+        fresh.get("python", "")
+    ):
+        return 0, [
+            "skip: python version differs "
+            f"(baseline {baseline.get('python')}, "
+            f"fresh {fresh.get('python')})"
+        ]
+    code = 0
+    for metric in KERNEL_METRICS:
+        base = baseline.get(metric)
+        new = fresh.get(metric)
+        if not base or not new:
+            messages.append(f"skip {metric}: absent from one side")
+            continue
+        ratio = new / base
+        line = f"{metric}: {base:.0f} -> {new:.0f} ({ratio:.2f}x)"
+        if ratio < 1.0 - threshold:
+            code = 1
+            line += f"  REGRESSION (>{threshold:.0%} below baseline)"
+        messages.append(line)
+    return code, messages
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check-schema", help="validate a benchmark file")
+    check.add_argument(
+        "path",
+        nargs="?",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_engine.json"),
+    )
+
+    cmp_parser = sub.add_parser(
+        "compare", help="fail on kernel-throughput regression"
+    )
+    cmp_parser.add_argument("baseline")
+    cmp_parser.add_argument("fresh")
+    cmp_parser.add_argument("--threshold", type=float, default=0.2)
+
+    args = parser.parse_args(argv)
+
+    if args.command == "check-schema":
+        payload = json.loads(Path(args.path).read_text())
+        problems = validate_schema(payload)
+        for problem in problems:
+            print(f"schema: {problem}", file=sys.stderr)
+        if not problems:
+            print(f"{args.path}: schema OK")
+        return 1 if problems else 0
+
+    baseline = json.loads(Path(args.baseline).read_text())
+    fresh = json.loads(Path(args.fresh).read_text())
+    for payload, label in ((baseline, args.baseline), (fresh, args.fresh)):
+        problems = validate_schema(payload)
+        for problem in problems:
+            print(f"schema ({label}): {problem}", file=sys.stderr)
+        if problems:
+            return 1
+    code, messages = compare(baseline, fresh, args.threshold)
+    for message in messages:
+        print(message)
+    return code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

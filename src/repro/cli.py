@@ -146,6 +146,10 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
             f"overridable via ${CACHE_DIR_ENV})"
         ),
     )
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="break the cache summary down by layer (memory LRU vs disk)",
+    )
 
 
 def _engine(args: argparse.Namespace) -> tuple[Optional[ResultCache], CellReport]:
@@ -154,14 +158,25 @@ def _engine(args: argparse.Namespace) -> tuple[Optional[ResultCache], CellReport
     return cache, CellReport()
 
 
-def _print_report(report: CellReport, cache: Optional[ResultCache]) -> None:
+def _print_report(
+    report: CellReport,
+    cache: Optional[ResultCache],
+    verbose: bool = False,
+) -> None:
     if cache is None:
         print(f"ran {report.describe()} (cache disabled)", file=sys.stderr)
-    else:
+        return
+    print(
+        f"ran {report.describe()} "
+        f"[cache: {report.cache_hits} hit(s), "
+        f"{report.cache_misses} miss(es) in {cache.directory}]",
+        file=sys.stderr,
+    )
+    if verbose:
+        disk_hits = cache.hits - cache.memory_hits
         print(
-            f"ran {report.describe()} "
-            f"[cache: {report.cache_hits} hit(s), "
-            f"{report.cache_misses} miss(es) in {cache.directory}]",
+            f"[cache layers: {cache.memory_hits} memory hit(s), "
+            f"{disk_hits} disk hit(s), {cache.misses} miss(es)]",
             file=sys.stderr,
         )
 
@@ -200,7 +215,7 @@ def _command_run(args: argparse.Namespace) -> int:
     result = run_cells(
         [config], jobs=args.jobs, cache=cache, report=report
     )[0]
-    _print_report(report, cache)
+    _print_report(report, cache, verbose=args.verbose)
     print(format_interval_table(result.measured, every=args.every))
     print()
     for key, value in result.summary.items():
@@ -227,7 +242,7 @@ def _command_compare(args: argparse.Namespace) -> int:
         ),
         report=report,
     )
-    _print_report(report, cache)
+    _print_report(report, cache, verbose=args.verbose)
     records = {
         scheduler: result.measured
         for scheduler, result in zip(SCHEDULER_NAMES, results)
@@ -251,7 +266,7 @@ def _command_figure(args: argparse.Namespace) -> int:
         report=report,
         progress=lambda label: print(f"running {label} ...", file=sys.stderr),
     )
-    _print_report(report, cache)
+    _print_report(report, cache, verbose=args.verbose)
     print(result.render(every=5))
     return 0
 
@@ -271,7 +286,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
         cache=cache,
         report=report,
     )
-    _print_report(report, cache)
+    _print_report(report, cache, verbose=args.verbose)
     for metric in (
         "mean_throughput_txn_per_min",
         "mean_latency_ms",

@@ -11,6 +11,14 @@ class ConfigError(ReproError):
     """An experiment or component configuration is invalid."""
 
 
+class SimulationError(ReproError, ValueError):
+    """The simulation kernel was misused (e.g. scheduling into the past).
+
+    Subclasses :class:`ValueError` as well so callers that guarded the
+    kernel's historical ``ValueError`` behaviour keep working.
+    """
+
+
 class RoutingError(ReproError):
     """The query router could not resolve a key to a partition."""
 

@@ -25,6 +25,7 @@ import dataclasses
 import hashlib
 import json
 import os
+from collections import OrderedDict
 from pathlib import Path
 from typing import TYPE_CHECKING, Optional, Union
 
@@ -76,14 +77,35 @@ class ResultCache:
     ``os.replace``) so a crashed or concurrent run can never leave a
     half-written entry behind; unreadable or structurally stale files are
     treated as misses.
+
+    An in-process LRU (``memory_entries`` results, keyed by the same
+    entry file name as the disk layer, so the key schema is unchanged)
+    sits in front of the disk: a CLI run that renders several figures
+    over overlapping cells re-reads each entry's JSON once, not once per
+    figure.  The LRU is populated only by a *successful disk read* —
+    never by :meth:`put` — so a corrupted or externally deleted entry
+    still misses exactly as before.  Results served from memory are the
+    same objects handed out earlier; they are immutable by convention
+    (frozen config, never-mutated records) and must be treated as
+    read-only.
+
+    ``hits``/``misses`` count lookups as before (a memory hit is a hit);
+    ``memory_hits`` additionally counts the hits that skipped the disk.
     """
 
-    def __init__(self, directory: Optional[Union[str, Path]] = None) -> None:
+    def __init__(
+        self,
+        directory: Optional[Union[str, Path]] = None,
+        memory_entries: int = 256,
+    ) -> None:
         self.directory = (
             Path(directory) if directory is not None else default_cache_dir()
         )
         self.hits = 0
         self.misses = 0
+        self.memory_hits = 0
+        self._memory_entries = memory_entries
+        self._memory: "OrderedDict[str, ExperimentResult]" = OrderedDict()
 
     def path_for(self, config: ExperimentConfig) -> Path:
         """The entry file backing ``config``."""
@@ -94,6 +116,14 @@ class ResultCache:
     def get(self, config: ExperimentConfig) -> Optional["ExperimentResult"]:
         """The cached result for ``config``, or ``None`` on a miss."""
         path = self.path_for(config)
+        key = path.name
+        memory = self._memory
+        cached = memory.get(key)
+        if cached is not None:
+            memory.move_to_end(key)
+            self.hits += 1
+            self.memory_hits += 1
+            return cached
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
@@ -102,6 +132,10 @@ class ResultCache:
             self.misses += 1
             return None
         self.hits += 1
+        if self._memory_entries > 0:
+            memory[key] = result
+            while len(memory) > self._memory_entries:
+                memory.popitem(last=False)
         return result
 
     def put(self, config: ExperimentConfig, result: "ExperimentResult") -> None:

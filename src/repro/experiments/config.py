@@ -20,12 +20,12 @@ Three scale presets are provided:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Optional
 
 from ..cluster.cluster import ClusterConfig
 from ..errors import ConfigError
-from ..faults import FaultScheduleConfig
+from ..faults import FaultEvent, FaultScheduleConfig
 from ..workload.generator import (
     PAPER_TUPLE_COUNT,
     PAPER_UNIFORM_TYPES,
@@ -173,6 +173,74 @@ class ExperimentConfig:
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
         """Copy with replaced top-level fields."""
         return replace(self, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Plain-dict (JSON-safe) round-tripping
+# ---------------------------------------------------------------------------
+# The parallel engine ships configs to worker processes as one shared base
+# document plus a tiny per-cell delta, so a config must survive
+# dataclass -> dict -> JSON -> dict -> dataclass exactly (field equality,
+# and therefore an identical cache key).
+
+#: Top-level ExperimentConfig fields that hold nested config dataclasses
+#: rebuilt with plain keyword arguments.
+_NESTED_CONFIG_TYPES = {
+    "cluster": ClusterConfig,
+    "workload": WorkloadConfig,
+    "cost": CostConfig,
+    "runtime": RuntimeConfig,
+    "scheduling": SchedulerConfig,
+}
+
+
+def config_to_dict(config: ExperimentConfig) -> dict[str, Any]:
+    """``config`` as a JSON-safe nested dict of primitives."""
+    return asdict(config)
+
+
+def _field_from_dict(name: str, value: Any) -> Any:
+    if name == "faults":
+        if value is None:
+            return None
+        rest = {key: val for key, val in value.items() if key != "events"}
+        return FaultScheduleConfig(
+            events=tuple(FaultEvent(**event) for event in value["events"]),
+            **rest,
+        )
+    nested = _NESTED_CONFIG_TYPES.get(name)
+    if nested is not None:
+        return nested(**value)
+    return value
+
+
+def config_from_dict(data: dict[str, Any]) -> ExperimentConfig:
+    """Rebuild an :class:`ExperimentConfig` from :func:`config_to_dict` output.
+
+    Tolerates the JSON round trip (tuples come back as lists) and raises
+    the usual :class:`~repro.errors.ConfigError` validation on bad values.
+    """
+    return ExperimentConfig(
+        **{name: _field_from_dict(name, value) for name, value in data.items()}
+    )
+
+
+def config_delta(
+    base: ExperimentConfig, config: ExperimentConfig
+) -> dict[str, Any]:
+    """Top-level fields of ``config`` that differ from ``base``.
+
+    Applying the delta over ``base``'s dict form reconstructs ``config``
+    exactly: ``config_from_dict({**config_to_dict(base), **delta})``.
+    Cells of one figure grid share everything but scheduler/α/name, so
+    the delta is a handful of scalars instead of the full document.
+    """
+    base_fields = asdict(base)
+    return {
+        name: value
+        for name, value in asdict(config).items()
+        if value != base_fields[name]
+    }
 
 
 def bench_scale(

@@ -16,19 +16,46 @@ Guarantees:
 * **Cache transparency** — with a :class:`~repro.experiments.cache.ResultCache`,
   cells whose config already has a stored result are served from disk and
   never dispatched; freshly executed cells are stored on the way out.
+
+The engine keeps dispatch overhead off the per-cell bill three ways:
+
+* **Warm pool** — one module-level :class:`ProcessPoolExecutor` (``fork``
+  start method where the platform offers it) is created on first use and
+  reused by every later ``run_cells`` call in the process, so a CLI run
+  that renders several figures pays worker start-up once, not per figure.
+  The pool is resized only when a call asks for a different worker count,
+  and torn down at interpreter exit.
+* **Delta dispatch** — cells of one batch share almost their entire
+  config, so the base config crosses to the workers once per chunk as a
+  canonical JSON document bound into the task function; each cell then
+  ships only the JSON of its top-level-field delta
+  (:func:`~repro.experiments.config.config_delta`).  Results return as
+  the compact metric state dicts from
+  :mod:`repro.metrics.export` — never pickled collector objects — and the
+  parent grafts its local config object back on.
+* **Cost-aware chunking** — ``pool.map``'s chunksize is derived from an
+  estimated per-cell cost (simulated seconds × tuple count): heavy cells
+  get chunksize 1 so a slow cell never holds a batch of finished
+  neighbours hostage, light cells are batched to amortise IPC.
 """
 
 from __future__ import annotations
 
+import atexit
+import json
+import multiprocessing
 import os
 import sys
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from functools import partial
+from typing import Any, Callable, List, Optional, Sequence
 
+from ..metrics.export import result_from_state_dict, result_to_state_dict
 from .cache import ResultCache
-from .config import ExperimentConfig
+from .config import ExperimentConfig, config_delta, config_from_dict, config_to_dict
 from .runner import ExperimentResult, run_experiment
 
 
@@ -66,16 +93,117 @@ def resolve_jobs(jobs: int) -> int:
     return jobs
 
 
+# ---------------------------------------------------------------------------
+# Warm worker pool
+# ---------------------------------------------------------------------------
+
+_pool: Optional[ProcessPoolExecutor] = None
+_pool_workers = 0
+
+
 def _worker_init(extra_paths: Sequence[str]) -> None:
-    """Make ``repro`` importable in spawned workers (uninstalled checkouts)."""
+    """Make ``repro`` importable in spawned workers (uninstalled checkouts).
+
+    A no-op under the ``fork`` start method (children inherit ``sys.path``),
+    but required by the ``spawn`` fallback on platforms without ``fork``.
+    """
     for path in reversed(list(extra_paths)):
         if path not in sys.path:
             sys.path.insert(0, path)
 
 
+def _start_method() -> str:
+    """``fork`` where available (cheap, inherits loaded modules)."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return "fork"
+    return multiprocessing.get_start_method()
+
+
+def warm_pool(workers: int) -> ProcessPoolExecutor:
+    """The shared worker pool, created on first use and reused after.
+
+    The pool persists across :func:`run_cells` calls; it is rebuilt only
+    when ``workers`` differs from the live pool's size (the ``--jobs``
+    knob must mean what it says — benchmarking the speedup curve depends
+    on it) and shut down automatically at interpreter exit.
+    """
+    global _pool, _pool_workers
+    if _pool is not None and _pool_workers == workers:
+        return _pool
+    shutdown_pool()
+    import repro
+
+    package_root = os.path.dirname(os.path.dirname(repro.__file__))
+    _pool = ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=multiprocessing.get_context(_start_method()),
+        initializer=_worker_init,
+        initargs=([package_root],),
+    )
+    _pool_workers = workers
+    return _pool
+
+
+def shutdown_pool() -> None:
+    """Tear down the warm pool (no-op when none is live)."""
+    global _pool, _pool_workers
+    if _pool is not None:
+        _pool.shutdown(wait=True, cancel_futures=True)
+        _pool = None
+        _pool_workers = 0
+
+
+atexit.register(shutdown_pool)
+
+
+# ---------------------------------------------------------------------------
+# Worker-side execution
+# ---------------------------------------------------------------------------
+
 def _execute_cell(config: ExperimentConfig) -> ExperimentResult:
-    """Top-level worker entry point (must be picklable by name)."""
+    """In-process execution of one cell (serial path; kept importable)."""
     return run_experiment(config)
+
+
+def _execute_from_delta(base_json: str, delta_json: str) -> dict:
+    """Worker entry point: rebuild the cell config, run it, return state.
+
+    ``base_json`` is bound once per chunk via :func:`functools.partial`
+    (the pickled task function carries it a single time per chunk, not
+    per cell); ``delta_json`` is the cell's tiny top-level-field delta.
+    The return value is the compact JSON-safe state dict — the parent
+    reattaches its own config object, so configs never ride back.
+    """
+    base = json.loads(base_json)
+    base.update(json.loads(delta_json))
+    config = config_from_dict(base)
+    return result_to_state_dict(run_experiment(config))
+
+
+def _estimate_cost(config: ExperimentConfig) -> float:
+    """Relative cost proxy for one cell (simulated span × system size)."""
+    runtime = config.runtime
+    simulated_s = (
+        (runtime.warmup_intervals + runtime.measure_intervals)
+        * runtime.interval_s
+    )
+    return simulated_s * max(config.workload.tuple_count, 1)
+
+
+def _chunk_size(costs: Sequence[float], workers: int) -> int:
+    """``pool.map`` chunksize for a batch with the given cell costs.
+
+    Heavy cells (several times the bench preset) run one per task so the
+    slowest cell in a chunk cannot starve idle workers; light batches are
+    chunked to roughly four waves per worker to amortise per-task IPC.
+    """
+    if not costs:
+        return 1
+    # bench_scale's default cell: 45 intervals x 20 s x 3000 tuples.
+    bench_cell = 45 * 20.0 * 3_000
+    if max(costs) > 4 * bench_cell:
+        return 1
+    return max(1, len(costs) // (workers * 4))
 
 
 def run_cells(
@@ -115,24 +243,10 @@ def run_cells(
                     progress(configs[index])
                 results[index] = run_experiment(configs[index])
         else:
-            # The package root rather than sys.path verbatim: workers only
-            # need repro importable, not the parent's whole path state.
-            import repro
-
-            package_root = os.path.dirname(os.path.dirname(repro.__file__))
             if progress is not None:
                 for index in pending:
                     progress(configs[index])
-            with ProcessPoolExecutor(
-                max_workers=min(jobs, len(pending)),
-                initializer=_worker_init,
-                initargs=([package_root],),
-            ) as pool:
-                ordered = pool.map(
-                    _execute_cell, [configs[i] for i in pending]
-                )
-                for index, result in zip(pending, ordered):
-                    results[index] = result
+            _run_pool(configs, pending, results, jobs)
         if cache is not None:
             for index in pending:
                 cache.put(configs[index], results[index])
@@ -140,3 +254,33 @@ def run_cells(
 
     report.wall_clock_s += time.perf_counter() - started
     return results  # type: ignore[return-value]
+
+
+def _run_pool(
+    configs: Sequence[ExperimentConfig],
+    pending: Sequence[int],
+    results: List[Optional[ExperimentResult]],
+    jobs: int,
+) -> None:
+    """Dispatch ``pending`` cells over the warm pool, filling ``results``."""
+    base = configs[pending[0]]
+    base_json = json.dumps(config_to_dict(base), sort_keys=True)
+    deltas = [
+        json.dumps(config_delta(base, configs[index]), sort_keys=True)
+        for index in pending
+    ]
+    costs = [_estimate_cost(configs[index]) for index in pending]
+    workers = min(jobs, len(pending))
+    pool = warm_pool(workers)
+    task = partial(_execute_from_delta, base_json)
+    try:
+        ordered: Any = pool.map(
+            task, deltas, chunksize=_chunk_size(costs, workers)
+        )
+        for index, payload in zip(pending, ordered):
+            results[index] = result_from_state_dict(payload, configs[index])
+    except BrokenProcessPool:
+        # A dead worker poisons the whole executor; drop it so the next
+        # call starts clean, then surface the failure.
+        shutdown_pool()
+        raise

@@ -1,11 +1,50 @@
-"""The discrete-event simulation environment (virtual clock + event loop)."""
+"""The discrete-event simulation environment (virtual clock + event loop).
+
+The scheduler is a *bucketed calendar queue* rather than one big binary
+heap.  Pending entries live in four structures:
+
+* ``_bucket`` — the **near-future bucket**: a list sorted ascending by
+  ``(when, seq)`` consumed left-to-right through ``_pos``.  Nothing is
+  ever inserted into an existing bucket (late arrivals go to the heap
+  below), so a drain of pre-scheduled events costs one C-level
+  ``list.sort`` per bucket plus an index increment per event, instead of
+  a log-N ``heappop`` each.
+* ``_adds`` — a small binary heap of **late arrivals**: entries scheduled
+  *after* the bucket was built whose time falls at or before the
+  bucket's maximum (``_horizon``).  The hot loop merges ``_adds`` and
+  ``_bucket`` by comparing their heads; in the common drain case the
+  heap is empty and the check is a single falsy test.
+* ``_overflow`` — **far-future** entries already sorted (descending, so
+  refills slice cheaply off the tail) by an earlier refill.
+* ``_inbox`` — unsorted far-future entries appended in O(1); merged and
+  sorted into ``_overflow`` only when the bucket runs dry.
+
+Refills take the smallest ``bucket_limit`` entries as the new bucket, so
+one sort amortises over up to ``bucket_limit`` pops.  Ordering is exactly
+the classic ``(when, seq)`` heap order — the equivalence suite under
+``tests/`` proves pop order (and full experiment output) bit-identical to
+the old single-heap scheduler.
+
+Entries are flat 4-tuples ``(when, seq, event, fn)``.  ``event`` is the
+usual :class:`~repro.sim.events.Event`; when it is ``None`` the entry is
+a **bare callback** (``fn`` is invoked with no arguments), which lets hot
+internal paths — process kick-off and interrupt delivery — schedule work
+without allocating an Event plus its callbacks list per occurrence.
+
+Cancellation stays lazy: detaching a waiter leaves the queue entry in
+place with no callbacks, and the popped entry is skipped for the price of
+an empty-list check — nothing is ever removed from or re-sorted into the
+middle of a bucket.
+"""
 
 from __future__ import annotations
 
 import heapq
 from itertools import count
+from math import inf
 from typing import Any, Callable, Generator, Optional
 
+from ..errors import SimulationError
 from .events import AllOf, AnyOf, Event, EventState, Process, Timeout
 
 # Hot-loop locals: every event pop compares against these states, so the
@@ -13,6 +52,11 @@ from .events import AllOf, AnyOf, Event, EventState, Process, Timeout
 _PENDING = EventState.PENDING
 _SUCCEEDED = EventState.SUCCEEDED
 _FAILED = EventState.FAILED
+
+#: Default cap on one near-future bucket: one sort amortises over up to
+#: this many pops, while refills stay cheap enough to interleave with
+#: late arrivals.
+DEFAULT_BUCKET_LIMIT = 2048
 
 
 class EmptySchedule(Exception):
@@ -27,10 +71,29 @@ class Environment:
     ties), which makes runs fully deterministic.
     """
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    def __init__(
+        self,
+        initial_time: float = 0.0,
+        bucket_limit: int = DEFAULT_BUCKET_LIMIT,
+    ) -> None:
+        if bucket_limit < 1:
+            raise ValueError(f"bucket limit must be >= 1: {bucket_limit}")
         self._now = float(initial_time)
-        self._queue: list[tuple[float, int, Event]] = []
         self._seq = count()
+        self._bucket_limit = bucket_limit
+        # (when, seq, event, fn) entries; see the module docstring for the
+        # four-structure layout.
+        self._bucket: list[tuple] = []
+        self._pos = 0  # next unconsumed index into _bucket
+        self._adds: list[tuple] = []
+        self._overflow: list[tuple] = []
+        self._inbox: list[tuple] = []
+        #: Times strictly below the horizon must interleave with the
+        #: current bucket (they go to the ``_adds`` heap); times at or
+        #: above it sort after everything in the bucket and may be
+        #: appended to the inbox unsorted.  ``-inf`` until the first
+        #: refill so initial scheduling is pure O(1) appends.
+        self._horizon = -inf
 
     @property
     def now(self) -> float:
@@ -65,31 +128,119 @@ class Environment:
     # ------------------------------------------------------------------
     def _schedule_at(self, when: float, event: Event) -> None:
         if when < self._now:
-            raise ValueError(f"cannot schedule into the past ({when} < {self._now})")
-        heapq.heappush(self._queue, (when, next(self._seq), event))
+            raise SimulationError(
+                f"cannot schedule into the past ({when} < {self._now})"
+            )
+        entry = (when, next(self._seq), event, None)
+        if when < self._horizon:
+            heapq.heappush(self._adds, entry)
+        else:
+            self._inbox.append(entry)
 
     def _enqueue_triggered(self, event: Event) -> None:
         """Queue a just-triggered event's callbacks to run at the current time."""
         if event._is_timeout:
-            # Timeouts were heaped at construction by _schedule_at; pushing
-            # a second entry would pop them twice.  Their callbacks run
-            # when the heap reaches the original entry.
+            # Timeouts were queued at construction by _schedule_at; a
+            # second entry would pop them twice.  Their callbacks run
+            # when the queue reaches the original entry.
             return
-        heapq.heappush(self._queue, (self._now, next(self._seq), event))
+        now = self._now
+        entry = (now, next(self._seq), event, None)
+        if now < self._horizon:
+            heapq.heappush(self._adds, entry)
+        else:
+            self._inbox.append(entry)
+
+    def _call_soon(self, fn: Callable[[], None]) -> None:
+        """Schedule a bare callback at the current instant.
+
+        Order-equivalent to succeeding a fresh event carrying ``fn`` as
+        its only callback (it consumes one sequence number at the same
+        point), but without allocating the event, its callbacks list, or
+        the trigger bookkeeping.
+        """
+        now = self._now
+        entry = (now, next(self._seq), None, fn)
+        if now < self._horizon:
+            heapq.heappush(self._adds, entry)
+        else:
+            self._inbox.append(entry)
+
+    def _refill(self) -> None:
+        """Rebuild the near-future bucket from the far-future entries.
+
+        Called only when the bucket is consumed and the late-arrival heap
+        is empty, with at least one far-future entry pending.
+        """
+        overflow = self._overflow
+        inbox = self._inbox
+        if inbox:
+            overflow.extend(inbox)
+            inbox.clear()
+            # Timsort: ``overflow`` was already descending and the inbox
+            # is close to one run, so this is near a linear merge.
+            overflow.sort(reverse=True)
+        if len(overflow) <= self._bucket_limit:
+            bucket = overflow
+            self._overflow = []
+        else:
+            bucket = overflow[-self._bucket_limit:]
+            del overflow[-self._bucket_limit:]
+        bucket.reverse()  # descending tail slice -> ascending bucket
+        self._bucket = bucket
+        self._pos = 0
+        # Everything at or after the bucket's maximum key sorts after the
+        # whole bucket (later inserts carry larger sequence numbers), so
+        # it can wait unsorted in the inbox.
+        self._horizon = bucket[-1][0]
+
+    def _pop_entry(self) -> tuple:
+        """Remove and return the globally next entry (single-step path)."""
+        while True:
+            bucket = self._bucket
+            pos = self._pos
+            if pos < len(bucket):
+                entry = bucket[pos]
+                adds = self._adds
+                if adds and adds[0] < entry:
+                    return heapq.heappop(adds)
+                self._pos = pos + 1
+                return entry
+            if self._adds:
+                return heapq.heappop(self._adds)
+            if self._overflow or self._inbox:
+                self._refill()
+                continue
+            raise EmptySchedule()
 
     # ------------------------------------------------------------------
     # Running
     # ------------------------------------------------------------------
     def peek(self) -> float:
         """Time of the next scheduled event, or ``float('inf')``."""
-        return self._queue[0][0] if self._queue else float("inf")
+        while True:
+            bucket = self._bucket
+            pos = self._pos
+            adds = self._adds
+            if pos < len(bucket):
+                when = bucket[pos][0]
+                if adds and adds[0][0] < when:
+                    return adds[0][0]
+                return when
+            if adds:
+                return adds[0][0]
+            if self._overflow or self._inbox:
+                self._refill()
+                continue
+            return inf
 
     def step(self) -> None:
         """Process the single next event."""
-        if not self._queue:
-            raise EmptySchedule()
-        when, _seq, event = heapq.heappop(self._queue)
+        when, _seq, event, fn = self._pop_entry()
         self._now = when
+        if event is None:
+            fn()
+            return
         if event._is_timeout and event._state is _PENDING:
             # A timeout triggers exactly when it is popped.
             event._state = _SUCCEEDED
@@ -103,26 +254,62 @@ class Environment:
     def _advance(self, horizon: float) -> None:
         """Process every event scheduled at or before ``horizon``.
 
-        This is :meth:`step` inlined: the queue, ``heappop``, and the state
-        constants are bound to locals so the per-event overhead is a single
-        heap pop plus the callbacks themselves.
+        This is :meth:`step` inlined: the bucket, its cursor, the
+        late-arrival heap, and the state constants are bound to locals so
+        the per-event overhead in the common case is an index increment,
+        one falsy check, and the callbacks themselves.  The cursor is
+        written back in a ``finally`` so a callback raising (or the
+        horizon cutting a bucket short) never loses queue state.
         """
-        queue = self._queue
-        pop = heapq.heappop
+        bucket = self._bucket
+        pos = self._pos
+        blen = len(bucket)
+        adds = self._adds
+        pop_add = heapq.heappop
         pending = _PENDING
         succeeded = _SUCCEEDED
         failed = _FAILED
-        while queue and queue[0][0] <= horizon:
-            when, _seq, event = pop(queue)
-            self._now = when
-            if event._is_timeout and event._state is pending:
-                event._state = succeeded
-            callbacks, event.callbacks = event.callbacks, None
-            if callbacks:
-                for callback in callbacks:
-                    callback(event)
-            if event._state is failed and not event.defused:
-                raise event.value
+        try:
+            while True:
+                if pos < blen:
+                    entry = bucket[pos]
+                    if adds and adds[0] < entry:
+                        if adds[0][0] > horizon:
+                            return
+                        entry = pop_add(adds)
+                    else:
+                        if entry[0] > horizon:
+                            return
+                        pos += 1
+                elif adds:
+                    if adds[0][0] > horizon:
+                        return
+                    entry = pop_add(adds)
+                elif self._overflow or self._inbox:
+                    self._pos = pos
+                    self._refill()
+                    bucket = self._bucket
+                    pos = self._pos
+                    blen = len(bucket)
+                    continue
+                else:
+                    return
+                when = entry[0]
+                event = entry[2]
+                self._now = when
+                if event is None:
+                    entry[3]()
+                    continue
+                if event._is_timeout and event._state is pending:
+                    event._state = succeeded
+                callbacks, event.callbacks = event.callbacks, None
+                if callbacks:
+                    for callback in callbacks:
+                        callback(event)
+                if event._state is failed and not event.defused:
+                    raise event.value
+        finally:
+            self._pos = pos
 
     def run(self, until: Optional[float | Event] = None) -> Any:
         """Run the simulation.
@@ -154,7 +341,7 @@ class Environment:
             self._now = horizon
             return None
 
-        self._advance(float("inf"))
+        self._advance(inf)
         return None
 
     def run_intervals(

@@ -156,10 +156,11 @@ class Process(Event):
         self._generator = generator
         self._waiting_on: Optional[Event] = None
         self._wait_callback: Optional[Callable[[Event], None]] = None
-        # Kick the process off via an immediately-succeeding event.
-        start = Event(env)
-        start.callbacks.append(self._resume)
-        start.succeed()
+        # Kick the process off at the current instant.  A bare scheduled
+        # callback consumes one sequence number exactly like the
+        # immediately-succeeding start event it replaces, so ordering is
+        # unchanged — without allocating an Event per process start.
+        env._call_soon(self._first_resume)
 
     @property
     def is_alive(self) -> bool:
@@ -188,13 +189,31 @@ class Process(Event):
                 pass
         self._waiting_on = None
         self._wait_callback = None
-        poke = Event(self.env)
-        poke.callbacks.append(lambda _ev: self._throw(Interrupt(cause)))
-        poke.succeed()
+        self.env._call_soon(lambda: self._throw(Interrupt(cause)))
 
     # ------------------------------------------------------------------
     # Internal stepping
     # ------------------------------------------------------------------
+    def _first_resume(self) -> None:
+        """Initial resume: send ``None`` into the fresh generator.
+
+        Equivalent to :meth:`_resume` with a just-succeeded valueless
+        start event, minus the event allocation.
+        """
+        if self.triggered:
+            # The process was interrupted (and finished) before its first
+            # resume; the kick-off callback is stale.
+            return
+        try:
+            target = self._generator.send(None)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - kernel boundary
+            self.fail(exc)
+            return
+        self._wait_on(target)
+
     def _resume(self, event: Event) -> None:
         if self.triggered:
             # Stale wake-up: the process already finished — e.g. it was

@@ -1,0 +1,151 @@
+"""Tests for the benchmark schema/regression guard used by perf-smoke CI."""
+
+import json
+import pathlib
+import sys
+
+_BENCHMARKS = pathlib.Path(__file__).resolve().parents[2] / "benchmarks"
+sys.path.insert(0, str(_BENCHMARKS))
+
+from bench_guard import compare, main, validate_schema  # noqa: E402
+
+
+def _payload(**overrides):
+    base = {
+        "recorded_at": "2026-08-08T00:00:00",
+        "python": "3.11.7",
+        "cpu_count": 4,
+        "parallel_jobs": 4,
+        "kernel_events_per_s": 2_000_000,
+        "kernel_mixed_events_per_s": 900_000,
+        "kernel_run_intervals_events_per_s": 2_500_000,
+        "standard_cell_wall_clock_s": 3.0,
+        "figure4_scale_cells": 15,
+        "serial_wall_clock_s": 20.0,
+        "parallel_wall_clock_s": 6.0,
+        "parallel_speedup": 3.1,
+        "parallel_skipped_reason": None,
+        "speedup_by_jobs": {"1": 1.0, "2": 1.8, "4": 3.1},
+        "cache_cold_wall_clock_s": 20.0,
+        "cache_warm_wall_clock_s": 0.05,
+        "cache_warm_executed": 0,
+        "cache_warm_hits": 15,
+    }
+    base.update(overrides)
+    return base
+
+
+class TestSchema:
+    def test_committed_baseline_passes(self):
+        committed = json.loads(
+            (_BENCHMARKS.parent / "BENCH_engine.json").read_text()
+        )
+        assert validate_schema(committed) == []
+
+    def test_valid_payload_passes(self):
+        assert validate_schema(_payload()) == []
+
+    def test_missing_field_reported(self):
+        payload = _payload()
+        del payload["kernel_events_per_s"]
+        assert any("kernel_events_per_s" in p for p in validate_schema(payload))
+
+    def test_wrong_type_reported(self):
+        payload = _payload(cpu_count="four")
+        assert any("cpu_count" in p for p in validate_schema(payload))
+
+    def test_single_core_speedup_must_be_null(self):
+        """The provenance rule: a 1-core box cannot report a speedup."""
+        payload = _payload(
+            cpu_count=1,
+            parallel_speedup=0.8,  # the pre-rework file did exactly this
+        )
+        assert any("cpu_count < 2" in p for p in validate_schema(payload))
+
+    def test_null_speedup_requires_a_reason(self):
+        payload = _payload(
+            parallel_speedup=None,
+            speedup_by_jobs=None,
+            parallel_wall_clock_s=None,
+            parallel_skipped_reason=None,
+        )
+        assert validate_schema(payload) != []
+        payload["parallel_skipped_reason"] = "cpu_count=1 < 2"
+        payload["cpu_count"] = 1
+        assert validate_schema(payload) == []
+
+    def test_non_object_rejected(self):
+        assert validate_schema([1, 2, 3]) != []
+
+
+class TestCompare:
+    def test_identical_passes(self):
+        code, _ = compare(_payload(), _payload())
+        assert code == 0
+
+    def test_within_threshold_passes(self):
+        fresh = _payload(kernel_events_per_s=1_700_000)  # -15%
+        code, _ = compare(_payload(), fresh)
+        assert code == 0
+
+    def test_regression_beyond_threshold_fails(self):
+        fresh = _payload(kernel_events_per_s=1_500_000)  # -25%
+        code, messages = compare(_payload(), fresh)
+        assert code == 1
+        assert any("REGRESSION" in m for m in messages)
+
+    def test_any_kernel_metric_can_trip_the_gate(self):
+        fresh = _payload(kernel_run_intervals_events_per_s=1_000_000)  # -60%
+        assert compare(_payload(), fresh)[0] == 1
+
+    def test_different_cpu_count_skips(self):
+        code, messages = compare(_payload(), _payload(cpu_count=1,
+                                                      parallel_speedup=None,
+                                                      speedup_by_jobs=None,
+                                                      parallel_wall_clock_s=None,
+                                                      parallel_skipped_reason="x"))
+        assert code == 0
+        assert any("skip" in m for m in messages)
+
+    def test_different_python_minor_skips(self):
+        code, messages = compare(
+            _payload(), _payload(python="3.12.1", kernel_events_per_s=1)
+        )
+        assert code == 0
+        assert any("skip" in m for m in messages)
+
+    def test_patch_version_difference_still_compares(self):
+        fresh = _payload(python="3.11.9", kernel_events_per_s=1_000_000)
+        assert compare(_payload(), fresh)[0] == 1
+
+
+class TestCli:
+    def test_check_schema_ok(self, tmp_path, capsys):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(_payload()))
+        assert main(["check-schema", str(path)]) == 0
+        assert "schema OK" in capsys.readouterr().out
+
+    def test_check_schema_failure(self, tmp_path, capsys):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(_payload(cpu_count=None)))
+        assert main(["check-schema", str(path)]) == 1
+        assert "cpu_count" in capsys.readouterr().err
+
+    def test_compare_cli_detects_regression(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        fresh = tmp_path / "fresh.json"
+        baseline.write_text(json.dumps(_payload()))
+        fresh.write_text(json.dumps(_payload(kernel_events_per_s=1_000_000)))
+        assert main(["compare", str(baseline), str(fresh)]) == 1
+        # A looser threshold lets the same pair pass.
+        assert main(
+            ["compare", str(baseline), str(fresh), "--threshold", "0.6"]
+        ) == 0
+
+    def test_compare_cli_rejects_malformed_baseline(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        fresh = tmp_path / "fresh.json"
+        baseline.write_text(json.dumps({"not": "a benchmark"}))
+        fresh.write_text(json.dumps(_payload()))
+        assert main(["compare", str(baseline), str(fresh)]) == 1

@@ -143,6 +143,26 @@ class TestEngineFlags:
             assert "1 executed" in err
             assert "cache disabled" in err
 
+    def test_verbose_breaks_cache_down_by_layer(self, capsys):
+        argv = ["run", "--scheduler", "ApplyAll", "--intervals", "3",
+                "--warmup", "1", "--load", "low", "--verbose"]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        # Cold run: nothing cached, one miss, layer line still printed.
+        assert "cache layers:" in first.err
+        assert "1 miss(es)" in first.err
+        assert main(argv) == 0
+        second = capsys.readouterr()
+        # Warm run in a fresh process-level cache object: served from
+        # disk (the in-memory LRU is per-ResultCache instance).
+        assert "1 disk hit(s)" in second.err
+
+    def test_without_verbose_no_layer_breakdown(self, capsys):
+        argv = ["run", "--scheduler", "ApplyAll", "--intervals", "3",
+                "--warmup", "1", "--load", "low"]
+        assert main(argv) == 0
+        assert "cache layers:" not in capsys.readouterr().err
+
 
 class TestSweepCommand:
     def test_sweep_parses_seeds(self):

@@ -6,6 +6,15 @@ must reproduce the exact result object.
 """
 
 import dataclasses
+import json
+
+from repro.experiments.config import (
+    config_delta,
+    config_from_dict,
+    config_to_dict,
+)
+from repro.experiments.parallel import shutdown_pool, warm_pool
+from repro.faults import FaultEvent, FaultScheduleConfig
 
 from repro.experiments import (
     CACHE_DIR_ENV,
@@ -167,6 +176,61 @@ class TestResultCache:
         assert cache.path_for(config).name.startswith("v3-")
         assert old_path.exists()  # old entries are ignored, not deleted
 
+    def test_repeat_get_served_from_memory(self, tmp_path):
+        config = tiny(measure_intervals=3, warmup_intervals=1)
+        cache = ResultCache(tmp_path)
+        cache.put(config, run_experiment(config))
+        first = cache.get(config)  # disk read, populates the LRU
+        assert cache.memory_hits == 0
+        second = cache.get(config)
+        assert second is first  # the same object, no JSON re-read
+        assert cache.hits == 2
+        assert cache.memory_hits == 1
+
+    def test_memory_layer_survives_disk_entry_deletion(self, tmp_path):
+        """Once read, an entry is served from memory even if the file goes."""
+        config = tiny(measure_intervals=3, warmup_intervals=1)
+        cache = ResultCache(tmp_path)
+        cache.put(config, run_experiment(config))
+        first = cache.get(config)
+        cache.path_for(config).unlink()
+        assert cache.get(config) is first
+
+    def test_memory_layer_evicts_least_recent(self, tmp_path):
+        configs = _tiny_matrix()[:3]
+        cache = ResultCache(tmp_path, memory_entries=2)
+        for config in configs:
+            cache.put(config, run_experiment(config))
+            cache.get(config)  # populate the LRU
+        # configs[0] was evicted when configs[2] came in; the other two
+        # are memory hits.
+        before = cache.memory_hits
+        assert cache.get(configs[1]) is not None
+        assert cache.get(configs[2]) is not None
+        assert cache.memory_hits == before + 2
+        assert cache.get(configs[0]) is not None  # re-read from disk
+        assert cache.memory_hits == before + 2
+
+    def test_put_does_not_populate_memory(self, tmp_path):
+        """The LRU fills on successful reads only, so a corrupted or
+        unwritable disk entry can never be masked by the memory layer."""
+        config = tiny(measure_intervals=3, warmup_intervals=1)
+        cache = ResultCache(tmp_path)
+        cache.put(config, run_experiment(config))
+        cache.path_for(config).write_text("{not json")
+        assert cache.get(config) is None
+        assert cache.memory_hits == 0
+
+    def test_memory_layer_can_be_disabled(self, tmp_path):
+        config = tiny(measure_intervals=3, warmup_intervals=1)
+        cache = ResultCache(tmp_path, memory_entries=0)
+        cache.put(config, run_experiment(config))
+        first = cache.get(config)
+        second = cache.get(config)
+        assert first == second
+        assert second is not first  # every get re-reads the disk
+        assert cache.memory_hits == 0
+
     def test_corrupt_entry_is_a_miss(self, tmp_path):
         config = tiny(measure_intervals=3, warmup_intervals=1)
         cache = ResultCache(tmp_path)
@@ -191,6 +255,95 @@ class TestResultCache:
         assert ResultCache().directory == tmp_path / "elsewhere"
         monkeypatch.delenv(CACHE_DIR_ENV)
         assert str(default_cache_dir()) == ".repro-cache"
+
+
+class TestConfigSerde:
+    """Dict/JSON round-tripping that the delta dispatch relies on."""
+
+    def test_round_trip_is_exact(self):
+        config = tiny(measure_intervals=3, warmup_intervals=1)
+        rebuilt = config_from_dict(
+            json.loads(json.dumps(config_to_dict(config)))
+        )
+        assert rebuilt == config
+        assert config_key(rebuilt) == config_key(config)
+
+    def test_round_trip_preserves_fault_schedule(self):
+        schedule = FaultScheduleConfig(
+            events=(
+                FaultEvent(120.0, "crash", 2),
+                FaultEvent(180.0, "restart", 2),
+            ),
+            mtbf_s=300.0,
+            mttr_s=30.0,
+        )
+        config = tiny(measure_intervals=3, warmup_intervals=1).with_overrides(
+            faults=schedule
+        )
+        rebuilt = config_from_dict(
+            json.loads(json.dumps(config_to_dict(config)))
+        )
+        assert rebuilt == config
+        assert isinstance(rebuilt.faults.events, tuple)
+        assert config_key(rebuilt) == config_key(config)
+
+    def test_delta_contains_only_differing_fields(self):
+        base = tiny(scheduler="Hybrid", measure_intervals=3, warmup_intervals=1)
+        other = tiny(
+            scheduler="Feedback",
+            alpha=0.2,
+            measure_intervals=3,
+            warmup_intervals=1,
+        )
+        delta = config_delta(base, other)
+        assert set(delta) == {"name", "scheduler", "alpha"}
+        assert config_delta(base, base) == {}
+
+    def test_delta_applied_over_base_reconstructs_cell(self):
+        base = tiny(scheduler="Hybrid", measure_intervals=3, warmup_intervals=1)
+        cell = tiny(
+            scheduler="Piggyback",
+            distribution="uniform",
+            load="low",
+            alpha=0.6,
+            seed=7,
+            measure_intervals=3,
+            warmup_intervals=1,
+        )
+        merged = json.loads(json.dumps(config_to_dict(base)))
+        merged.update(
+            json.loads(json.dumps(config_delta(base, cell)))
+        )
+        assert config_from_dict(merged) == cell
+
+
+class TestWarmPool:
+    def test_pool_is_reused_for_same_worker_count(self):
+        first = warm_pool(2)
+        second = warm_pool(2)
+        assert first is second
+        shutdown_pool()
+
+    def test_pool_rebuilt_when_worker_count_changes(self):
+        first = warm_pool(2)
+        second = warm_pool(3)
+        assert first is not second
+        assert second is warm_pool(3)
+        shutdown_pool()
+
+    def test_shutdown_is_idempotent(self):
+        warm_pool(2)
+        shutdown_pool()
+        shutdown_pool()  # no live pool: must not raise
+
+    def test_consecutive_run_cells_share_one_pool(self):
+        configs = _tiny_matrix()[:2]
+        first = run_cells(configs, jobs=2)
+        pool_after_first = warm_pool(2)  # same size: must be the live pool
+        second = run_cells(configs, jobs=2)
+        assert warm_pool(2) is pool_after_first
+        for a, b in zip(first, second):
+            _assert_identical(a, b)
 
 
 class TestIntegration:

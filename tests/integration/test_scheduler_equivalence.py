@@ -1,0 +1,158 @@
+"""Old-vs-new scheduler equivalence on full experiment runs.
+
+The calendar-queue scheduler must be *invisible*: every figure series and
+per-interval metric the experiment stack produces has to be bit-identical
+to what the old single-heap scheduler produced.  These tests run the real
+pipeline twice — once normally, once with
+``repro.experiments.runner.Environment`` monkeypatched to the heapq
+oracle (the runner is the only place in ``src/`` that constructs an
+environment) — and diff everything: summaries, full interval series, and
+figure-3/figure-4 shaped grids, across all five schedulers, a
+deterministic fault schedule, and a migration-heavy chaos cell.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.config import SCHEDULER_NAMES
+from repro.experiments.figures import _run_cells
+from repro.experiments.runner import run_experiment
+from repro.faults import FaultEvent, FaultScheduleConfig
+
+from ..experiments.test_runner import tiny
+from ..sim.heapq_reference import HeapqEnvironment
+
+
+def _oracle(monkeypatch):
+    """Swap the runner's kernel for the single-heap reference."""
+    monkeypatch.setattr(
+        "repro.experiments.runner.Environment", HeapqEnvironment
+    )
+
+
+def _assert_identical(first, second):
+    """Summaries and the full interval series match bit-for-bit."""
+    assert first.summary == second.summary
+    assert len(first.intervals) == len(second.intervals)
+    for a, b in zip(first.intervals, second.intervals):
+        assert dataclasses.asdict(a) == dataclasses.asdict(b)
+
+
+def _crash_schedule():
+    """Crash node 1 mid-run, restart it two intervals later."""
+    return FaultScheduleConfig(
+        events=(
+            FaultEvent(60.0, "crash", 1),
+            FaultEvent(100.0, "restart", 1),
+        )
+    )
+
+
+class TestPerScheduler:
+    @pytest.mark.parametrize("scheduler", SCHEDULER_NAMES)
+    def test_run_bit_identical(self, monkeypatch, scheduler):
+        config = tiny(scheduler=scheduler, measure_intervals=4, warmup_intervals=1)
+        with_new = run_experiment(config)
+        _oracle(monkeypatch)
+        with_old = run_experiment(config)
+        _assert_identical(with_new, with_old)
+
+
+class TestChaosConfigs:
+    def test_fault_schedule_bit_identical(self, monkeypatch):
+        config = tiny(
+            scheduler="Hybrid",
+            measure_intervals=5,
+            warmup_intervals=1,
+            faults=_crash_schedule(),
+        )
+        with_new = run_experiment(config)
+        _oracle(monkeypatch)
+        with_old = run_experiment(config)
+        _assert_identical(with_new, with_old)
+
+    def test_migration_heavy_chaos_bit_identical(self, monkeypatch):
+        """Full-α ApplyAll migration under faults with abort-on-stale-route.
+
+        The worst case for event-order sensitivity: every interval
+        publishes map epochs while transactions race the migration, node
+        crashes inject retries, and the abort policy makes outcomes
+        depend on the exact interleaving of routing, locking, and epoch
+        publication — any ordering drift between schedulers shows up
+        immediately.
+        """
+        base = tiny(
+            scheduler="ApplyAll",
+            measure_intervals=5,
+            warmup_intervals=1,
+            faults=_crash_schedule(),
+        )
+        config = base.with_overrides(
+            runtime=dataclasses.replace(
+                base.runtime, stale_route_policy="abort"
+            )
+        )
+        with_new = run_experiment(config)
+        _oracle(monkeypatch)
+        with_old = run_experiment(config)
+        _assert_identical(with_new, with_old)
+
+
+class TestFigureSeries:
+    def _factory(self, scheduler, distribution, load, alpha, seed):
+        return tiny(
+            scheduler=scheduler,
+            distribution=distribution,
+            load=load,
+            alpha=alpha,
+            seed=seed,
+            measure_intervals=3,
+            warmup_intervals=1,
+        )
+
+    def _figure4_grid(self):
+        """Figure-4 shape: all five schedulers × two α values, Zipf/High."""
+        return _run_cells(
+            "Figure 4 (equivalence)",
+            "zipf",
+            "high",
+            (1.0, 0.2),
+            schedulers=SCHEDULER_NAMES,
+            config_factory=self._factory,
+            jobs=1,
+        )
+
+    def _figure3_grid(self):
+        """Figure-3 shape: α=100% across two workload panels."""
+        grids = []
+        for distribution, load in (("zipf", "high"), ("uniform", "low")):
+            grids.append(
+                _run_cells(
+                    f"Figure 3 ({distribution}/{load})",
+                    distribution,
+                    load,
+                    (1.0,),
+                    schedulers=SCHEDULER_NAMES,
+                    config_factory=self._factory,
+                    jobs=1,
+                )
+            )
+        return grids
+
+    def test_figure4_series_bit_identical(self, monkeypatch):
+        with_new = self._figure4_grid()
+        _oracle(monkeypatch)
+        with_old = self._figure4_grid()
+        assert set(with_new.runs) == set(with_old.runs)
+        for cell, result in with_new.runs.items():
+            _assert_identical(result, with_old.runs[cell])
+
+    def test_figure3_series_bit_identical(self, monkeypatch):
+        with_new = self._figure3_grid()
+        _oracle(monkeypatch)
+        with_old = self._figure3_grid()
+        for new_grid, old_grid in zip(with_new, with_old):
+            assert set(new_grid.runs) == set(old_grid.runs)
+            for cell, result in new_grid.runs.items():
+                _assert_identical(result, old_grid.runs[cell])

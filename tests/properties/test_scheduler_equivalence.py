@@ -1,0 +1,180 @@
+"""Property test: the calendar-queue scheduler matches the heapq oracle.
+
+Hypothesis generates random interleavings of timeouts, callback-driven
+re-scheduling, processes, interrupts, lazy cancellations, and defused
+failures; each program is interpreted twice — once on the old single-heap
+scheduler (kept verbatim under ``tests/sim/heapq_reference.py``) and once
+on the production :class:`repro.sim.Environment` — and the full firing
+log (virtual time + which callback, i.e. the pop order) must be
+identical.  Small ``bucket_limit`` values are included on purpose: they
+force a refill every handful of events, exercising the bucket/overflow
+machinery far harder than the default ever would.
+"""
+
+from math import inf
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment, Interrupt
+
+from ..sim.heapq_reference import HeapqEnvironment
+
+#: Delays are floats on purpose — both schedulers must order identical
+#: float keys identically, including ties broken by sequence number.
+_delays = st.one_of(
+    st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+    st.integers(min_value=0, max_value=50).map(float),
+)
+
+_op = st.one_of(
+    # plain timeout with a logging callback
+    st.tuples(st.just("timeout"), _delays),
+    # timeout whose callback schedules more timeouts (the late-arrival
+    # path: inserts land while the current bucket is being drained)
+    st.tuples(st.just("chain"), _delays, st.lists(_delays, max_size=3)),
+    # a process sleeping through several timeouts
+    st.tuples(st.just("proc"), st.lists(_delays, min_size=1, max_size=4)),
+    # a process that interrupts an earlier process mid-sleep
+    st.tuples(st.just("interrupt"), st.integers(0, 7), _delays),
+    # lazy cancellation: the queue entry stays, the callback is detached
+    st.tuples(st.just("cancelled"), _delays),
+    # failed-and-defused timeout: pops once, never escalates
+    st.tuples(st.just("fail"), _delays),
+)
+
+_programs = st.lists(_op, max_size=25)
+
+_bucket_limits = st.sampled_from([1, 2, 3, 7, 64, 2048])
+
+
+def _build(env, program, log):
+    """Interpret ``program`` against ``env``, recording into ``log``."""
+    procs = []
+
+    def logging_cb(tag):
+        def cb(_event):
+            log.append((env.now, tag))
+
+        return cb
+
+    for index, op in enumerate(program):
+        kind = op[0]
+        if kind == "timeout":
+            env.timeout(op[1]).callbacks.append(logging_cb(("t", index)))
+        elif kind == "chain":
+            nested = op[2]
+
+            def chain_cb(_event, index=index, nested=nested):
+                log.append((env.now, ("chain", index)))
+                for j, delay in enumerate(nested):
+                    env.timeout(delay).callbacks.append(
+                        logging_cb(("nested", index, j))
+                    )
+
+            env.timeout(op[1]).callbacks.append(chain_cb)
+        elif kind == "proc":
+
+            def body(delays=op[1], index=index):
+                for j, delay in enumerate(delays):
+                    try:
+                        yield env.timeout(delay)
+                    except Interrupt as interrupt:
+                        log.append(
+                            (env.now, ("interrupted", index, j, interrupt.cause))
+                        )
+                        return
+                    log.append((env.now, ("woke", index, j)))
+
+            procs.append(env.process(body()))
+        elif kind == "interrupt":
+            target, delay = op[1], op[2]
+
+            def killer(target=target, delay=delay, index=index):
+                yield env.timeout(delay)
+                if procs:
+                    victim = procs[target % len(procs)]
+                    if victim.is_alive:
+                        victim.interrupt(("chaos", index))
+                        log.append((env.now, ("killed", index)))
+
+            env.process(killer())
+        elif kind == "cancelled":
+            timeout = env.timeout(op[1])
+            cb = logging_cb(("never", index))
+            timeout.callbacks.append(cb)
+            timeout.callbacks.remove(cb)
+        elif kind == "fail":
+            timeout = env.timeout(op[1])
+            timeout.callbacks.append(logging_cb(("failed", index)))
+            timeout.fail(RuntimeError("boom"))
+            timeout.defused = True
+    return procs
+
+
+def _execute(make_env, program):
+    env = make_env()
+    log = []
+    _build(env, program, log)
+    env.run()
+    log.append(("final", env.now))
+    return log
+
+
+def _execute_stepwise(make_env, program):
+    """Drive via peek()/step(), recording the exact pop schedule."""
+    env = make_env()
+    log = []
+    _build(env, program, log)
+    trace = []
+    while True:
+        upcoming = env.peek()
+        trace.append(upcoming)
+        if upcoming == inf:
+            break
+        env.step()
+        trace.append(env.now)
+    return log, trace
+
+
+def _execute_intervals(make_env, program):
+    env = make_env()
+    log = []
+    _build(env, program, log)
+    boundaries = []
+    env.run_intervals(
+        7.0, 9, on_interval=lambda i: boundaries.append((i, env.now, len(log)))
+    )
+    return log, boundaries
+
+
+class TestPopOrderEquivalence:
+    @settings(max_examples=200, deadline=None)
+    @given(program=_programs, bucket_limit=_bucket_limits)
+    def test_run_produces_identical_firing_log(self, program, bucket_limit):
+        reference = _execute(HeapqEnvironment, program)
+        actual = _execute(
+            lambda: Environment(bucket_limit=bucket_limit), program
+        )
+        assert actual == reference
+
+    @settings(max_examples=100, deadline=None)
+    @given(program=_programs, bucket_limit=_bucket_limits)
+    def test_stepwise_peek_and_pop_schedule_identical(
+        self, program, bucket_limit
+    ):
+        ref_log, ref_trace = _execute_stepwise(HeapqEnvironment, program)
+        log, trace = _execute_stepwise(
+            lambda: Environment(bucket_limit=bucket_limit), program
+        )
+        assert log == ref_log
+        assert trace == ref_trace
+
+    @settings(max_examples=100, deadline=None)
+    @given(program=_programs, bucket_limit=_bucket_limits)
+    def test_interval_batched_run_identical(self, program, bucket_limit):
+        ref = _execute_intervals(HeapqEnvironment, program)
+        actual = _execute_intervals(
+            lambda: Environment(bucket_limit=bucket_limit), program
+        )
+        assert actual == ref

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import ReproError, SimulationError
 from repro.sim import EmptySchedule, Environment
 
 
@@ -26,6 +27,91 @@ class TestClock:
         env.run(until=10)
         with pytest.raises(ValueError):
             env._schedule_at(5, env.event())
+
+    def test_schedule_into_past_raises_simulation_error(self, env):
+        """Regression: past scheduling must surface as SimulationError.
+
+        The old kernel silently heap-inserted into the past from some
+        call sites; now every route raises a typed error that is *also*
+        a ValueError, so historical ``except ValueError`` guards and the
+        library-wide ``except ReproError`` both catch it.
+        """
+        env.run(until=10)
+        with pytest.raises(SimulationError):
+            env._schedule_at(9.999, env.event())
+        with pytest.raises(ReproError):
+            env._schedule_at(0, env.event())
+        assert issubclass(SimulationError, ValueError)
+        # A rejected schedule must leave no queue entry behind.
+        assert env.peek() == float("inf")
+
+
+class TestBucketMachinery:
+    """The calendar queue's refill/overflow paths under tiny buckets."""
+
+    def test_bucket_limit_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Environment(bucket_limit=0)
+
+    @pytest.mark.parametrize("bucket_limit", [1, 2, 3, 7])
+    def test_order_preserved_across_refills(self, bucket_limit):
+        env = Environment(bucket_limit=bucket_limit)
+        fired = []
+
+        def proc(name, delay):
+            yield env.timeout(delay)
+            fired.append((env.now, name))
+
+        # 50 events over a tiny bucket forces dozens of refills.
+        for i in range(50):
+            env.process(proc(i, (i * 17) % 13))
+        env.run()
+        reference = Environment()
+        expected = []
+
+        def ref_proc(name, delay):
+            yield reference.timeout(delay)
+            expected.append((reference.now, name))
+
+        for i in range(50):
+            reference.process(ref_proc(i, (i * 17) % 13))
+        reference.run()
+        assert fired == expected
+
+    def test_peek_reaches_across_refill_boundary(self):
+        env = Environment(bucket_limit=1)
+        env.timeout(3)
+        env.timeout(1)
+        env.timeout(2)
+        seen = []
+        while env.peek() != float("inf"):
+            seen.append(env.peek())
+            env.step()
+        # Kick-off entries share t=0; the timeouts then pop in time order.
+        assert seen == sorted(seen)
+        assert seen[-3:] == [1.0, 2.0, 3.0]
+
+    def test_late_arrival_below_horizon_interleaves(self):
+        """An insert landing inside the live bucket's range must not wait
+        for the next refill."""
+        env = Environment(bucket_limit=2)
+        fired = []
+
+        def late_scheduler():
+            yield env.timeout(1)
+            # Scheduled while the bucket spanning [0, ~10] is live.
+            t = env.timeout(1)  # fires at t=2, below the horizon
+            t.callbacks.append(lambda _ev: fired.append(("late", env.now)))
+
+        def marker(delay):
+            yield env.timeout(delay)
+            fired.append(("marker", env.now))
+
+        env.process(late_scheduler())
+        for delay in (5, 10):
+            env.process(marker(delay))
+        env.run()
+        assert fired == [("late", 2.0), ("marker", 5.0), ("marker", 10.0)]
 
 
 class TestRun:
