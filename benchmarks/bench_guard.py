@@ -1,12 +1,17 @@
-"""Schema and regression guard for ``BENCH_engine.json``.
+"""Schema and regression guard for the committed ``BENCH_*.json`` files.
 
 Two subcommands, both used by the perf-smoke CI job and importable from
 the benchmark harness itself:
 
-``check-schema [PATH]``
+``check-schema [PATH] [--kind engine|routing|generic]``
     Validate that the benchmark file carries every required field with
-    the right type (including the provenance fields — ``cpu_count`` and
-    the null-when-unmeasurable parallel section), exit 1 otherwise.
+    the right type, exit 1 otherwise.  The schema *kind* is inferred
+    from the filename (``BENCH_engine.json`` -> engine,
+    ``BENCH_routing.json`` -> routing, any other ``BENCH_*.json`` ->
+    generic) unless ``--kind`` overrides it.  Every kind requires the
+    provenance trio — ``recorded_at``, ``python``, ``cpu_count`` — so a
+    number can never be committed without the context needed to judge
+    whether it is comparable.
 
 ``compare BASELINE FRESH [--threshold 0.2]``
     Fail (exit 1) when a fresh run's kernel throughput regresses more
@@ -28,12 +33,20 @@ import sys
 from pathlib import Path
 from typing import Any
 
-#: Required fields and their accepted types.  ``None`` is legal exactly
-#: where a 1-core box cannot measure a speedup honestly.
-REQUIRED_FIELDS: dict[str, tuple[type, ...]] = {
+#: Provenance every committed benchmark file must carry, whatever it
+#: measures: when it was recorded, on which interpreter, on how many
+#: cores.  Without these a committed number cannot be judged comparable.
+PROVENANCE_FIELDS: dict[str, tuple[type, ...]] = {
     "recorded_at": (str,),
     "python": (str,),
     "cpu_count": (int,),
+}
+
+#: Required fields for ``BENCH_engine.json`` and their accepted types.
+#: ``None`` is legal exactly where a 1-core box cannot measure a speedup
+#: honestly.
+REQUIRED_FIELDS: dict[str, tuple[type, ...]] = {
+    **PROVENANCE_FIELDS,
     "parallel_jobs": (int,),
     "kernel_events_per_s": (int, float),
     "kernel_mixed_events_per_s": (int, float),
@@ -51,6 +64,34 @@ REQUIRED_FIELDS: dict[str, tuple[type, ...]] = {
     "cache_warm_hits": (int,),
 }
 
+#: Required fields for ``BENCH_routing.json`` (epoch-map microbench).
+ROUTING_REQUIRED_FIELDS: dict[str, tuple[type, ...]] = {
+    **PROVENANCE_FIELDS,
+    "map_sizes": (list,),
+    "publish_batch": (int,),
+    "route_read_per_s": (int, float),
+    "route_write_per_s": (int, float),
+    "pinned_epoch_read_per_s": (int, float),
+    "epoch_publish_ms_by_map_size": (dict,),
+    "partition_sizes_per_s_by_map_size": (dict,),
+}
+
+#: Field sets by schema kind; ``generic`` accepts any metrics but still
+#: insists on provenance.
+SCHEMAS: dict[str, dict[str, tuple[type, ...]]] = {
+    "engine": REQUIRED_FIELDS,
+    "routing": ROUTING_REQUIRED_FIELDS,
+    "generic": PROVENANCE_FIELDS,
+}
+
+
+def kind_for_path(path: str | Path) -> str:
+    """The schema kind implied by a benchmark file's name."""
+    stem = Path(path).stem  # e.g. "BENCH_engine"
+    kind = stem.removeprefix("BENCH_").lower()
+    return kind if kind in SCHEMAS else "generic"
+
+
 #: The kernel metrics the regression gate protects.
 KERNEL_METRICS = (
     "kernel_events_per_s",
@@ -59,12 +100,14 @@ KERNEL_METRICS = (
 )
 
 
-def validate_schema(payload: Any) -> list[str]:
+def validate_schema(payload: Any, kind: str = "engine") -> list[str]:
     """Problems with ``payload`` as a benchmark document (empty = valid)."""
+    if kind not in SCHEMAS:
+        return [f"unknown schema kind: {kind}"]
     if not isinstance(payload, dict):
         return [f"payload is {type(payload).__name__}, expected an object"]
     problems = []
-    for name, types in REQUIRED_FIELDS.items():
+    for name, types in SCHEMAS[kind].items():
         if name not in payload:
             problems.append(f"missing field: {name}")
         elif not isinstance(payload[name], types) or isinstance(
@@ -74,7 +117,7 @@ def validate_schema(payload: Any) -> list[str]:
                 f"field {name} has type {type(payload[name]).__name__}, "
                 f"expected {'/'.join(t.__name__ for t in types)}"
             )
-    if not problems:
+    if not problems and kind == "engine":
         # The parallel section must be null *consistently*: either the
         # speedup was measured, or a reason says why it was not.
         if (payload["parallel_speedup"] is None) != (
@@ -141,6 +184,12 @@ def main(argv: list[str] | None = None) -> int:
         nargs="?",
         default=str(Path(__file__).resolve().parent.parent / "BENCH_engine.json"),
     )
+    check.add_argument(
+        "--kind",
+        choices=sorted(SCHEMAS),
+        default=None,
+        help="schema to apply (default: inferred from the filename)",
+    )
 
     cmp_parser = sub.add_parser(
         "compare", help="fail on kernel-throughput regression"
@@ -152,12 +201,13 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.command == "check-schema":
+        kind = args.kind or kind_for_path(args.path)
         payload = json.loads(Path(args.path).read_text())
-        problems = validate_schema(payload)
+        problems = validate_schema(payload, kind)
         for problem in problems:
             print(f"schema: {problem}", file=sys.stderr)
         if not problems:
-            print(f"{args.path}: schema OK")
+            print(f"{args.path}: schema OK ({kind})")
         return 1 if problems else 0
 
     baseline = json.loads(Path(args.baseline).read_text())

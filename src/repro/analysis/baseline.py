@@ -1,0 +1,80 @@
+"""Baseline files: burn pre-existing findings down incrementally.
+
+A baseline is a JSON document of known findings.  Findings matching a
+baseline entry are reported separately and do not fail the run; new
+findings still do.  Matching is a multiset over ``(path, code,
+message)`` — line numbers are deliberately excluded so unrelated edits
+above a baselined finding do not resurrect it.
+
+Framework diagnostics (RPR000) can never be baselined: a malformed
+suppression is fixed, not grandfathered.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Union
+
+from .core import META_CODE, Finding
+
+BASELINE_VERSION = 1
+
+BaselineKey = tuple[str, str, str]
+
+
+def finding_key(finding: Finding) -> BaselineKey:
+    return (finding.path, finding.code, finding.message)
+
+
+def load_baseline(path: Union[str, Path]) -> Counter[BaselineKey]:
+    """The baseline multiset at ``path`` (empty when the file is absent)."""
+    file = Path(path)
+    if not file.exists():
+        return Counter()
+    payload = json.loads(file.read_text(encoding="utf-8"))
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise ValueError(f"{file}: not a repro-lint baseline file")
+    counter: Counter[BaselineKey] = Counter()
+    for entry in payload["findings"]:
+        counter[(entry["path"], entry["code"], entry["message"])] += 1
+    return counter
+
+
+def write_baseline(
+    findings: list[Finding], path: Union[str, Path]
+) -> None:
+    """Write ``findings`` (minus RPR000) as the new baseline at ``path``."""
+    entries = [
+        {"path": f.path, "code": f.code, "message": f.message}
+        for f in findings
+        if f.code != META_CODE
+    ]
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def split_by_baseline(
+    findings: list[Finding], baseline: Counter[BaselineKey]
+) -> tuple[list[Finding], list[Finding], Counter[BaselineKey]]:
+    """(new, baselined, stale-entries) partition of ``findings``.
+
+    Each baseline entry absorbs at most its multiplicity; leftover
+    entries are *stale* — the finding they grandfathered is gone and
+    they should be removed from the file.
+    """
+    remaining = Counter(baseline)
+    new: list[Finding] = []
+    matched: list[Finding] = []
+    for finding in findings:
+        key = finding_key(finding)
+        if finding.code != META_CODE and remaining[key] > 0:
+            remaining[key] -= 1
+            matched.append(finding)
+        else:
+            new.append(finding)
+    stale = Counter({k: n for k, n in remaining.items() if n > 0})
+    return new, matched, stale

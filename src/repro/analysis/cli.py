@@ -1,0 +1,211 @@
+"""The ``repro-lint`` command line: ``python -m repro.analysis ...``.
+
+Usage::
+
+    python -m repro.analysis src tests benchmarks
+    python -m repro.analysis --format=json src
+    python -m repro.analysis --baseline repro-lint-baseline.json src
+    python -m repro.analysis --baseline b.json --write-baseline src
+    python -m repro.analysis --select RPR001,RPR005 src
+    python -m repro.analysis --list-rules
+
+Exit status: 0 when no unsuppressed, non-baselined findings remain;
+1 when findings were reported; 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .baseline import load_baseline, split_by_baseline, write_baseline
+from .core import (
+    AnalysisResult,
+    ModuleContext,
+    Project,
+    all_rules,
+    analyze_project,
+)
+
+#: Directory names never scanned: caches, VCS internals, and the lint
+#: tool's own test corpus (fixture files contain deliberate violations
+#: under virtual paths).
+EXCLUDED_DIR_NAMES = frozenset(
+    {
+        "__pycache__",
+        ".git",
+        ".repro-cache",
+        ".hypothesis",
+        ".mypy_cache",
+        ".ruff_cache",
+        "fixtures",
+    }
+)
+
+
+def collect_files(paths: Sequence[str]) -> list[Path]:
+    """Python files under ``paths`` (files given directly are kept as-is)."""
+    files: list[Path] = []
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise FileNotFoundError(raw)
+        if path.is_file():
+            candidates = [path]
+        else:
+            candidates = sorted(
+                p
+                for p in path.rglob("*.py")
+                if not (set(p.parts) & EXCLUDED_DIR_NAMES)
+            )
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                files.append(candidate)
+    return files
+
+
+def logical_path(path: Path) -> str:
+    """Repository-relative posix path used for rule scoping."""
+    try:
+        rel = path.resolve().relative_to(Path.cwd().resolve())
+    except ValueError:
+        rel = path
+    return rel.as_posix()
+
+
+def build_project(files: Sequence[Path]) -> Project:
+    modules = []
+    for file in files:
+        source = file.read_text(encoding="utf-8")
+        modules.append(ModuleContext(logical_path(file), source))
+    return Project(modules)
+
+
+def _print_rules() -> None:
+    for rule in all_rules():
+        print(f"{rule.code}  {rule.name}")
+        print(f"    {rule.description}")
+
+
+def _render_json(
+    result: AnalysisResult,
+    new: list,
+    baselined: list,
+    stale: int,
+) -> str:
+    return json.dumps(
+        {
+            "version": 1,
+            "files": result.files,
+            "findings": [f.to_dict() for f in new],
+            "baselined": [f.to_dict() for f in baselined],
+            "suppressed": [f.to_dict() for f in result.suppressed],
+            "stale_baseline_entries": stale,
+        },
+        indent=2,
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="repro-lint: AST-based invariant checks for this repo.",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories")
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text, ruff-style lines)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="JSON baseline; matching findings are reported but not fatal",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to --baseline FILE and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rules and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        _print_rules()
+        return 0
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("error: no paths given", file=sys.stderr)
+        return 2
+    if args.write_baseline and not args.baseline:
+        print("error: --write-baseline requires --baseline", file=sys.stderr)
+        return 2
+
+    select = None
+    if args.select:
+        select = [code.strip() for code in args.select.split(",") if code.strip()]
+
+    try:
+        files = collect_files(args.paths)
+        project = build_project(files)
+        result = analyze_project(project, select=select)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        write_baseline(result.findings, args.baseline)
+        print(
+            f"wrote {len(result.findings)} finding(s) to {args.baseline}",
+            file=sys.stderr,
+        )
+        return 0
+
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (ValueError, KeyError, json.JSONDecodeError) as exc:
+            print(f"error: bad baseline: {exc}", file=sys.stderr)
+            return 2
+        new, baselined, stale = split_by_baseline(result.findings, baseline)
+    else:
+        new, baselined, stale = result.findings, [], None
+
+    if args.format == "json":
+        print(
+            _render_json(
+                result, new, baselined, sum(stale.values()) if stale else 0
+            )
+        )
+    else:
+        for finding in new:
+            print(finding.format_text())
+        summary = (
+            f"{len(new)} finding(s) in {result.files} file(s)"
+            f" ({len(result.suppressed)} suppressed"
+            + (f", {len(baselined)} baselined" if args.baseline else "")
+            + ")"
+        )
+        print(summary, file=sys.stderr)
+        if stale:
+            print(
+                f"note: {sum(stale.values())} stale baseline entr"
+                f"{'y' if sum(stale.values()) == 1 else 'ies'} no longer "
+                "match; regenerate with --write-baseline",
+                file=sys.stderr,
+            )
+    return 1 if new else 0

@@ -1,0 +1,411 @@
+"""Core of the ``repro-lint`` static-analysis framework.
+
+The reproduction's headline guarantees — bit-identical serial/parallel
+runs, cache entries that never mis-serve, immutable published
+``MapEpoch`` snapshots — are *invariants of the source tree*, not just
+runtime properties.  This package enforces them statically: every rule
+is an AST pass over the repository that fails CI the moment a change
+would let one of those invariants rot.
+
+Building blocks:
+
+* :class:`Finding` — one diagnostic, formatted ruff-style
+  (``path:line:col: CODE message``).
+* :class:`ModuleContext` — a parsed source file plus its per-line
+  suppressions (``# repro-lint: disable=RPRnnn -- justification``).
+* :class:`Project` — every module of one analysis run, for rules that
+  cross-check files against each other (e.g. the cache-key rule reads
+  both ``experiments/config.py`` and ``experiments/cache.py``).
+* :class:`Rule` + :func:`register` — the pluggable rule registry.
+  Rules implement :meth:`Rule.check_module` and/or
+  :meth:`Rule.check_project`.
+
+Rules scope themselves by *logical path* (the file's path relative to
+the repository root, e.g. ``src/repro/sim/environment.py``), so the
+test corpus can exercise a rule on fixture sources by assigning them a
+virtual logical path without placing files inside ``src/``.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Callable, ClassVar, Iterable, Iterator, Optional
+
+#: Code reserved for framework-level diagnostics (malformed or
+#: unjustified suppression comments, unparseable files).  RPR000
+#: findings are never suppressible and never baselined away.
+META_CODE = "RPR000"
+
+#: ``RPRnnn`` rule-code shape.
+CODE_RE = re.compile(r"^RPR\d{3}$")
+
+#: A suppression directive comment: ``repro-lint: disable=`` followed by
+#: one or more codes, then ``--`` and a justification.  The
+#: justification is required; an unjustified directive suppresses
+#: nothing and is itself flagged.
+SUPPRESSION_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<codes>[A-Za-z0-9_,\s]*?)"
+    r"(?:\s+--\s+(?P<why>.*\S))?\s*$"
+)
+
+#: Anything after this marker on a line is a repro-lint directive.
+DIRECTIVE_MARKER = re.compile(r"#\s*repro-lint:")
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One diagnostic emitted by a rule."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.code)
+
+    def format_text(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+def _comments(source: str) -> Iterator[tuple[int, int, str]]:
+    """(line, col, text) of every comment token in ``source``.
+
+    Tokenizing (rather than scanning raw lines) keeps directive text in
+    docstrings and string literals from being parsed as directives.
+    Tokenize errors are swallowed — an unparseable file already carries
+    an RPR000 parse finding.
+    """
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                yield tok.start[0], tok.start[1], tok.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return
+
+
+def _parse_suppressions(
+    path: str, source: str
+) -> tuple[dict[int, set[str]], list[Finding]]:
+    """Per-line suppressed codes plus findings for malformed directives."""
+    suppressions: dict[int, set[str]] = {}
+    problems: list[Finding] = []
+    for lineno, comment_col, text in _comments(source):
+        marker = DIRECTIVE_MARKER.search(text)
+        if marker is None:
+            continue
+        col = comment_col + marker.start() + 1
+        directive = SUPPRESSION_RE.search(text, marker.start())
+        if directive is None:
+            problems.append(
+                Finding(
+                    path,
+                    lineno,
+                    col,
+                    META_CODE,
+                    "malformed repro-lint directive; expected "
+                    "'# repro-lint: disable=RPRnnn -- justification'",
+                )
+            )
+            continue
+        codes = {
+            token.strip()
+            for token in directive.group("codes").split(",")
+            if token.strip()
+        }
+        bad = sorted(c for c in codes if not CODE_RE.match(c))
+        if not codes or bad:
+            problems.append(
+                Finding(
+                    path,
+                    lineno,
+                    col,
+                    META_CODE,
+                    f"invalid rule code(s) {bad or '(none)'} in suppression; "
+                    "codes look like RPR001",
+                )
+            )
+            continue
+        if META_CODE in codes:
+            problems.append(
+                Finding(
+                    path,
+                    lineno,
+                    col,
+                    META_CODE,
+                    "RPR000 (framework diagnostics) cannot be suppressed",
+                )
+            )
+            codes.discard(META_CODE)
+        if not directive.group("why"):
+            problems.append(
+                Finding(
+                    path,
+                    lineno,
+                    col,
+                    META_CODE,
+                    "suppression without justification; append "
+                    "'-- <why this violation is intentional>'",
+                )
+            )
+            continue  # unjustified directives suppress nothing
+        suppressions.setdefault(lineno, set()).update(codes)
+    return suppressions, problems
+
+
+class ModuleContext:
+    """A parsed source file as seen by the rules."""
+
+    def __init__(self, path: str, source: str) -> None:
+        #: Logical repository-relative posix path used for rule scoping.
+        self.path = path.replace("\\", "/").lstrip("./")
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree: Optional[ast.Module] = None
+        self.parse_findings: list[Finding] = []
+        try:
+            self.tree = ast.parse(source, filename=self.path)
+        except SyntaxError as exc:
+            self.parse_findings.append(
+                Finding(
+                    self.path,
+                    exc.lineno or 1,
+                    (exc.offset or 0) or 1,
+                    META_CODE,
+                    f"file does not parse: {exc.msg}",
+                )
+            )
+        self.suppressions, directive_problems = _parse_suppressions(
+            self.path, source
+        )
+        self.parse_findings.extend(directive_problems)
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        """Whether a justified per-line suppression covers ``finding``."""
+        return finding.code in self.suppressions.get(finding.line, ())
+
+
+class Project:
+    """All modules of one analysis run, addressable by logical path."""
+
+    def __init__(self, modules: Iterable[ModuleContext]) -> None:
+        self.modules: list[ModuleContext] = list(modules)
+        self._by_path = {m.path: m for m in self.modules}
+
+    def find(self, suffix: str) -> Optional[ModuleContext]:
+        """The module whose logical path is, or ends with, ``suffix``."""
+        hit = self._by_path.get(suffix)
+        if hit is not None:
+            return hit
+        for module in self.modules:
+            if module.path.endswith("/" + suffix):
+                return module
+        return None
+
+
+def path_in_scope(path: str, patterns: Iterable[str]) -> bool:
+    """Whether a logical path falls under any scope pattern.
+
+    Patterns ending in ``/`` match directories anywhere in the path
+    (``src/repro/sim/`` matches ``/abs/prefix/src/repro/sim/events.py``);
+    other patterns match an exact file suffix.
+    """
+    probe = "/" + path
+    for pattern in patterns:
+        anchored = "/" + pattern
+        if pattern.endswith("/"):
+            if anchored in probe:
+                return True
+        elif probe.endswith(anchored):
+            return True
+    return False
+
+
+class ImportMap:
+    """Resolves names in a module to the dotted path they import.
+
+    ``import time as t`` maps ``t -> time``; ``from datetime import
+    datetime`` maps ``datetime -> datetime.datetime``.  Only absolute
+    imports are tracked — relative (project-internal) imports resolve
+    through project rules instead.
+    """
+
+    def __init__(self, tree: Optional[ast.Module]) -> None:
+        self.names: dict[str, str] = {}
+        if tree is None:
+            return
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.names[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+                    if alias.asname:
+                        self.names[alias.asname] = alias.name
+            elif isinstance(node, ast.ImportFrom) and not node.level:
+                module = node.module or ""
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    self.names[alias.asname or alias.name] = (
+                        f"{module}.{alias.name}" if module else alias.name
+                    )
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Dotted name of an attribute chain, with import aliases applied."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self.names.get(node.id)
+        if base is None:
+            return None
+        parts.append(base)
+        return ".".join(reversed(parts))
+
+
+class Rule:
+    """Base class for repro-lint rules.
+
+    Subclasses set the class attributes and override one or both check
+    hooks.  ``check_module`` runs once per file; ``check_project`` runs
+    once per analysis with access to every parsed module (for
+    cross-file invariants).
+    """
+
+    code: ClassVar[str] = ""
+    name: ClassVar[str] = ""
+    description: ClassVar[str] = ""
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        return ()
+
+
+#: Registered rules, keyed by code (populated by :func:`register`).
+REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to :data:`REGISTRY`."""
+    if not CODE_RE.match(cls.code) or cls.code == META_CODE:
+        raise ValueError(f"bad rule code {cls.code!r} on {cls.__name__}")
+    if cls.code in REGISTRY:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    REGISTRY[cls.code] = cls()
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Registered rules in code order (imports the bundled rule set)."""
+    from . import rules  # noqa: F401  (registers on import)
+
+    return [REGISTRY[code] for code in sorted(REGISTRY)]
+
+
+@dataclass(slots=True)
+class AnalysisResult:
+    """Everything one analysis run produced."""
+
+    findings: list[Finding]
+    suppressed: list[Finding]
+    files: int
+
+
+def analyze_project(
+    project: Project,
+    select: Optional[Iterable[str]] = None,
+) -> AnalysisResult:
+    """Run the registered rules over ``project``.
+
+    ``select`` restricts to the given rule codes (RPR000 framework
+    diagnostics are always included).  Suppressed findings are split
+    out, not dropped, so callers can report suppression counts.
+    """
+    rules = all_rules()
+    if select is not None:
+        wanted = set(select)
+        unknown = wanted - {rule.code for rule in rules}
+        if unknown:
+            raise ValueError(f"unknown rule code(s): {sorted(unknown)}")
+        rules = [rule for rule in rules if rule.code in wanted]
+    raw: list[Finding] = []
+    for module in project.modules:
+        raw.extend(module.parse_findings)
+        for rule in rules:
+            raw.extend(rule.check_module(module))
+    for rule in rules:
+        raw.extend(rule.check_project(project))
+
+    by_path = {module.path: module for module in project.modules}
+    findings: list[Finding] = []
+    suppressed: list[Finding] = []
+    for finding in sorted(raw, key=Finding.sort_key):
+        module = by_path.get(finding.path)
+        if (
+            module is not None
+            and finding.code != META_CODE
+            and module.is_suppressed(finding)
+        ):
+            suppressed.append(finding)
+        else:
+            findings.append(finding)
+    return AnalysisResult(
+        findings=findings, suppressed=suppressed, files=len(project.modules)
+    )
+
+
+def analyze_sources(
+    sources: dict[str, str],
+    select: Optional[Iterable[str]] = None,
+) -> AnalysisResult:
+    """Analyze in-memory sources keyed by logical path (test entry point)."""
+    project = Project(
+        ModuleContext(path, text) for path, text in sources.items()
+    )
+    return analyze_project(project, select=select)
+
+
+def walk_functions(
+    tree: ast.Module,
+) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Every function/method definition in ``tree``."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def first_line_col(node: ast.AST) -> tuple[int, int]:
+    """1-based (line, col) of a node, ruff-style."""
+    return getattr(node, "lineno", 1), getattr(node, "col_offset", 0) + 1
+
+
+FindingFactory = Callable[[ast.AST, str], Finding]
+
+
+def finding_factory(path: str, code: str) -> FindingFactory:
+    """A helper binding path+code so rules just supply node+message."""
+
+    def make(node: ast.AST, message: str) -> Finding:
+        line, col = first_line_col(node)
+        return Finding(path, line, col, code, message)
+
+    return make

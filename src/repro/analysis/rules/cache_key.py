@@ -1,0 +1,267 @@
+"""RPR002 — cache-key completeness for ``ExperimentConfig``.
+
+The on-disk result cache keys entries by a canonical hash of the whole
+config, and the parallel engine ships configs to workers as JSON
+round-tripped through ``config_to_dict``/``config_from_dict``.  Both
+pipelines are only sound if **every** field of ``ExperimentConfig``
+(and its nested config dataclasses) participates:
+
+* a field missed by the canonical hash would not invalidate cached
+  results when it changes (silent mis-serve);
+* a nested-dataclass field missed by ``_NESTED_CONFIG_TYPES`` /
+  ``_field_from_dict`` would be rebuilt as a plain dict in worker
+  processes, so parallel runs would diverge from serial ones.
+
+This rule cross-checks the two modules statically, failing CI the
+moment a new field is added without wiring it through.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from ..core import Finding, ImportMap, Project, Rule, finding_factory, register
+
+CONFIG_MODULE = "src/repro/experiments/config.py"
+CACHE_MODULE = "src/repro/experiments/cache.py"
+
+#: Names that fully serialise a dataclass (all fields, recursively).
+FULL_SERIALISERS = frozenset(
+    {"dataclasses.asdict", "asdict", "config_to_dict"}
+)
+
+
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+    return False
+
+
+def _dataclass_fields(node: ast.ClassDef) -> list[ast.AnnAssign]:
+    return [
+        stmt
+        for stmt in node.body
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name)
+    ]
+
+
+def _annotation_type_names(annotation: ast.expr) -> set[str]:
+    """Every plain identifier mentioned in an annotation expression."""
+    names: set[str] = set()
+    for sub in ast.walk(annotation):
+        if isinstance(sub, ast.Name):
+            names.add(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            names.add(sub.attr)
+        elif isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            names.add(sub.value)  # string-literal forward references
+    return names
+
+
+def _nested_registry_keys(tree: ast.Module) -> Optional[set[str]]:
+    """Keys of the ``_NESTED_CONFIG_TYPES`` dict literal, if present."""
+    for node in ast.walk(tree):
+        targets: list[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        for target in targets:
+            if (
+                isinstance(target, ast.Name)
+                and target.id == "_NESTED_CONFIG_TYPES"
+                and isinstance(value, ast.Dict)
+            ):
+                return {
+                    key.value
+                    for key in value.keys
+                    if isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)
+                }
+    return None
+
+
+def _special_cased_names(tree: ast.Module) -> set[str]:
+    """Field names handled by explicit ``name == "..."`` dispatch in
+    ``_field_from_dict`` (e.g. the ``faults`` schedule)."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.FunctionDef):
+            continue
+        if node.name != "_field_from_dict":
+            continue
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Compare):
+                continue
+            operands = [sub.left, *sub.comparators]
+            if not any(
+                isinstance(op, ast.Name) and op.id == "name"
+                for op in operands
+            ):
+                continue
+            for op in operands:
+                if isinstance(op, ast.Constant) and isinstance(op.value, str):
+                    names.add(op.value)
+    return names
+
+
+@register
+class CacheKeyCompletenessRule(Rule):
+    """Every ``ExperimentConfig`` field must flow into the cache key and
+    survive the dict round trip used by the parallel engine."""
+
+    code = "RPR002"
+    name = "cache-key-completeness"
+    description = (
+        "ExperimentConfig fields must be covered by the canonical cache "
+        "key (config_key hashing the full dataclass) and, for nested "
+        "config dataclasses, by the _NESTED_CONFIG_TYPES registry or "
+        "_field_from_dict special cases, so a new field always "
+        "invalidates the cache and round-trips to worker processes."
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        config = project.find(CONFIG_MODULE)
+        if config is None or config.tree is None:
+            return
+
+        classes = {
+            node.name: node
+            for node in ast.walk(config.tree)
+            if isinstance(node, ast.ClassDef)
+        }
+        experiment = classes.get("ExperimentConfig")
+        if experiment is None:
+            yield Finding(
+                config.path,
+                1,
+                1,
+                self.code,
+                "ExperimentConfig dataclass not found; the cache-key "
+                "completeness check has nothing to anchor to",
+            )
+            return
+        if not _is_dataclass_decorated(experiment):
+            yield Finding(
+                config.path,
+                experiment.lineno,
+                1,
+                self.code,
+                "ExperimentConfig must be a dataclass so asdict() covers "
+                "every field",
+            )
+
+        make_config = finding_factory(config.path, self.code)
+        fields = _dataclass_fields(experiment)
+        field_names = {
+            f.target.id for f in fields if isinstance(f.target, ast.Name)
+        }
+
+        # --- round-trip coverage of nested config dataclasses ---------
+        registry_keys = _nested_registry_keys(config.tree)
+        special = _special_cased_names(config.tree)
+        if registry_keys is None:
+            yield make_config(
+                experiment,
+                "_NESTED_CONFIG_TYPES dict literal not found; "
+                "config_from_dict cannot be checked for field coverage",
+            )
+            registry_keys = set()
+        covered = registry_keys | special
+        nested_class_names = {
+            name
+            for name, node in classes.items()
+            if _is_dataclass_decorated(node)
+        }
+        for field in fields:
+            assert isinstance(field.target, ast.Name)
+            mentioned = _annotation_type_names(field.annotation)
+            is_nested = any(
+                name in nested_class_names or name.endswith("Config")
+                for name in mentioned
+            )
+            if is_nested and field.target.id not in covered:
+                yield make_config(
+                    field,
+                    f"nested config field '{field.target.id}' is not in "
+                    "_NESTED_CONFIG_TYPES and has no _field_from_dict "
+                    "special case; config_from_dict would rebuild it as a "
+                    "plain dict, so parallel workers and the cache key "
+                    "would silently diverge",
+                )
+
+        # --- the canonical hash must cover the whole config ------------
+        cache = project.find(CACHE_MODULE)
+        if cache is None or cache.tree is None:
+            return
+        make_cache = finding_factory(cache.path, self.code)
+        imports = ImportMap(cache.tree)
+        config_key_fn = next(
+            (
+                node
+                for node in ast.walk(cache.tree)
+                if isinstance(node, ast.FunctionDef)
+                and node.name == "config_key"
+            ),
+            None,
+        )
+        if config_key_fn is None:
+            yield Finding(
+                cache.path,
+                1,
+                1,
+                self.code,
+                "config_key() not found; the cache has no canonical key "
+                "function to check",
+            )
+            return
+        hashes_everything = False
+        explicit_keys: set[str] = set()
+        for node in ast.walk(config_key_fn):
+            if isinstance(node, ast.Call):
+                resolved = imports.resolve(node.func)
+                name = (
+                    resolved
+                    if resolved is not None
+                    else (
+                        node.func.id
+                        if isinstance(node.func, ast.Name)
+                        else None
+                    )
+                )
+                if name in FULL_SERIALISERS:
+                    hashes_everything = True
+            elif isinstance(node, ast.Dict):
+                explicit_keys.update(
+                    key.value
+                    for key in node.keys
+                    if isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)
+                )
+        if not hashes_everything:
+            missing = sorted(field_names - explicit_keys)
+            if missing:
+                yield make_cache(
+                    config_key_fn,
+                    "config_key() does not serialise the full config "
+                    "(no asdict/config_to_dict call) and its explicit key "
+                    f"set misses field(s) {missing}; changes to those "
+                    "fields would not invalidate cached results",
+                )
+        mentions_schema = any(
+            isinstance(node, ast.Name) and node.id == "CACHE_SCHEMA_VERSION"
+            for node in ast.walk(config_key_fn)
+        )
+        if not mentions_schema:
+            yield make_cache(
+                config_key_fn,
+                "config_key() does not mix CACHE_SCHEMA_VERSION into the "
+                "hashed payload; schema bumps would not invalidate old "
+                "entries",
+            )

@@ -1,0 +1,141 @@
+"""RPR006 — scheduler cursor write-back must be ``finally``-guarded.
+
+The calendar-queue hot loop (:meth:`Environment._advance`) copies the
+bucket cursor ``self._pos`` into a local, mutates the local for
+thousands of iterations, and only writes it back at the end.  If a user
+callback raises in between and the write-back is not inside a
+``finally``, the environment is left with a *stale* cursor: the same
+events replay on the next ``run()`` call, which is exactly the kind of
+corruption the PR-4 equivalence suite cannot catch (it only sees
+non-raising schedules).
+
+The rule: in scheduler modules, any function that (a) copies a
+cursor-named attribute (``*_pos``/``*_cursor``/``*_idx``/``*_index``)
+of ``self`` into a local, and (b) mutates that local inside a loop,
+must write the local back to the attribute inside a ``finally`` block.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Union
+
+from ..core import (
+    Finding,
+    ModuleContext,
+    Rule,
+    finding_factory,
+    path_in_scope,
+    register,
+)
+
+SCOPE = ("src/repro/sim/",)
+
+CURSOR_ATTR = re.compile(r"(_pos|_cursor|_idx|_index)$")
+
+_Func = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    """``attr`` when ``node`` is exactly ``self.<attr>``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _cursor_copies(func: _Func) -> dict[str, str]:
+    """Locals assigned from a cursor attribute: local name -> attr name."""
+    copies: dict[str, str] = {}
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Assign):
+            continue
+        attr = _self_attr(node.value)
+        if attr is None or not CURSOR_ATTR.search(attr):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                copies[target.id] = attr
+    return copies
+
+
+def _mutated_in_loop(func: _Func, local: str, attr: str) -> bool:
+    """Whether ``local`` is modified inside a loop (re-reads of the
+    source attribute do not count — they re-sync, they do not drift)."""
+    for node in ast.walk(func):
+        if not isinstance(node, (ast.While, ast.For, ast.AsyncFor)):
+            continue
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.AugAssign):
+                if isinstance(sub.target, ast.Name) and sub.target.id == local:
+                    return True
+            elif isinstance(sub, ast.Assign):
+                if not any(
+                    isinstance(t, ast.Name) and t.id == local
+                    for t in sub.targets
+                ):
+                    continue
+                if _self_attr(sub.value) == attr:
+                    continue  # re-sync from the attribute, not drift
+                return True
+    return False
+
+
+def _written_back_in_finally(func: _Func, local: str, attr: str) -> bool:
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Try):
+            continue
+        for stmt in node.finalbody:
+            for sub in ast.walk(stmt):
+                if not isinstance(sub, ast.Assign):
+                    continue
+                if any(
+                    _self_attr(t) == attr for t in sub.targets
+                ) and (
+                    isinstance(sub.value, ast.Name)
+                    and sub.value.id == local
+                ):
+                    return True
+    return False
+
+
+@register
+class CursorWriteBackRule(Rule):
+    """Loop-carried scheduler cursors are restored exception-safely."""
+
+    code = "RPR006"
+    name = "cursor-writeback-finally"
+    description = (
+        "A function that copies a scheduler cursor (self.*_pos and "
+        "friends) into a local and mutates it inside a loop must write "
+        "it back inside a finally block, so a raising callback cannot "
+        "leave the queue cursor stale and replay events."
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if ctx.tree is None:
+            return
+        if not path_in_scope(ctx.path, SCOPE):
+            return
+        make = finding_factory(ctx.path, self.code)
+        for func in (
+            node
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ):
+            for local, attr in _cursor_copies(func).items():
+                if not _mutated_in_loop(func, local, attr):
+                    continue
+                if not _written_back_in_finally(func, local, attr):
+                    yield make(
+                        func,
+                        f"'{func.name}' mutates cursor copy '{local}' of "
+                        f"'self.{attr}' inside a loop without a finally-"
+                        f"guarded 'self.{attr} = {local}' write-back; a "
+                        "raising callback would leave the cursor stale "
+                        "and replay events",
+                    )

@@ -47,6 +47,14 @@ from typing import Any, Callable, Generator, Optional
 from ..errors import SimulationError
 from .events import AllOf, AnyOf, Event, EventState, Process, Timeout
 
+#: One queue entry: ``(when, seq, event, fn)``.  Exactly one of ``event``
+#: and ``fn`` is set; the last two slots are typed ``Any`` because
+#: narrowing them structurally (a union + isinstance per pop) would put a
+#: check in the hottest loop in the simulator purely for the type
+#: checker's benefit.  ``seq`` is unique, so tuple comparison never
+#: reaches them.
+Entry = tuple[float, int, Any, Any]
+
 # Hot-loop locals: every event pop compares against these states, so the
 # enum lookups are hoisted to module level.
 _PENDING = EventState.PENDING
@@ -78,22 +86,22 @@ class Environment:
     ) -> None:
         if bucket_limit < 1:
             raise ValueError(f"bucket limit must be >= 1: {bucket_limit}")
-        self._now = float(initial_time)
-        self._seq = count()
-        self._bucket_limit = bucket_limit
+        self._now: float = float(initial_time)
+        self._seq: count[int] = count()
+        self._bucket_limit: int = bucket_limit
         # (when, seq, event, fn) entries; see the module docstring for the
         # four-structure layout.
-        self._bucket: list[tuple] = []
-        self._pos = 0  # next unconsumed index into _bucket
-        self._adds: list[tuple] = []
-        self._overflow: list[tuple] = []
-        self._inbox: list[tuple] = []
+        self._bucket: list[Entry] = []
+        self._pos: int = 0  # next unconsumed index into _bucket
+        self._adds: list[Entry] = []
+        self._overflow: list[Entry] = []
+        self._inbox: list[Entry] = []
         #: Times strictly below the horizon must interleave with the
         #: current bucket (they go to the ``_adds`` heap); times at or
         #: above it sort after everything in the bucket and may be
         #: appended to the inbox unsorted.  ``-inf`` until the first
         #: refill so initial scheduling is pure O(1) appends.
-        self._horizon = -inf
+        self._horizon: float = -inf
 
     @property
     def now(self) -> float:
@@ -194,7 +202,7 @@ class Environment:
         # it can wait unsorted in the inbox.
         self._horizon = bucket[-1][0]
 
-    def _pop_entry(self) -> tuple:
+    def _pop_entry(self) -> Entry:
         """Remove and return the globally next entry (single-step path)."""
         while True:
             bucket = self._bucket

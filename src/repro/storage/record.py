@@ -16,9 +16,13 @@ from ..types import TupleKey
 DEFAULT_TUPLE_SIZE_BYTES = 8
 
 
-@dataclass
+@dataclass(slots=True)
 class Record:
-    """One tuple: a unique key, an integer payload, and bookkeeping."""
+    """One tuple: a unique key, an integer payload, and bookkeeping.
+
+    Allocated once per stored tuple (500k at paper scale, per replica),
+    so it is slotted: no per-instance ``__dict__``.
+    """
 
     key: TupleKey
     value: int = 0

@@ -42,7 +42,7 @@ class WalRecordType(enum.Enum):
     CHECKPOINT = "checkpoint"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WalRecord:
     """One log record; ``payload`` depends on the type.
 
@@ -60,6 +60,8 @@ class WalRecord:
 
 class WriteAheadLog:
     """Append-only log for one partition's store."""
+
+    __slots__ = ("partition_id", "_records", "_lsn", "_open_txns")
 
     def __init__(self, partition_id: int) -> None:
         self.partition_id = partition_id

@@ -1,0 +1,19 @@
+# virtual-path: src/repro/experiments/cache.py
+"""Fixture: sound canonical key."""
+
+import dataclasses
+import hashlib
+import json
+
+CACHE_SCHEMA_VERSION = 1
+
+
+def config_key(config):
+    payload = json.dumps(
+        {
+            "schema": CACHE_SCHEMA_VERSION,
+            "config": dataclasses.asdict(config),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()

@@ -1,0 +1,38 @@
+# virtual-path: src/repro/experiments/config.py
+"""Fixture: fully wired config — registry plus special case cover every
+nested field."""
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    node_count: int = 5
+
+
+@dataclass(frozen=True)
+class FaultScheduleConfig:
+    mtbf_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    name: str = "experiment"
+    seed: int = 0
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    faults: Optional[FaultScheduleConfig] = None
+
+
+_NESTED_CONFIG_TYPES = {
+    "cluster": ClusterConfig,
+}
+
+
+def _field_from_dict(name, value):
+    if name == "faults":
+        return None if value is None else FaultScheduleConfig(**value)
+    nested = _NESTED_CONFIG_TYPES.get(name)
+    if nested is not None:
+        return nested(**value)
+    return value

@@ -1,0 +1,19 @@
+# virtual-path: src/repro/experiments/cache.py
+"""Fixture: a sound canonical key (full asdict + schema version)."""
+
+import dataclasses
+import hashlib
+import json
+
+CACHE_SCHEMA_VERSION = 3
+
+
+def config_key(config):
+    payload = json.dumps(
+        {
+            "schema": CACHE_SCHEMA_VERSION,
+            "config": dataclasses.asdict(config),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()

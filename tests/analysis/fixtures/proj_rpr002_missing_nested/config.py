@@ -1,0 +1,44 @@
+# virtual-path: src/repro/experiments/config.py
+"""Fixture: ExperimentConfig grew a nested config field that is not
+registered for the dict round trip."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    node_count: int = 5
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    interval_s: float = 20.0
+
+
+@dataclass(frozen=True)
+class ReplicaPolicyConfig:
+    max_replicas: int = 3
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    name: str = "experiment"
+    seed: int = 0
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    runtime: RuntimeConfig = field(default_factory=RuntimeConfig)
+    replica_policy: ReplicaPolicyConfig = field(
+        default_factory=ReplicaPolicyConfig
+    )
+
+
+_NESTED_CONFIG_TYPES = {
+    "cluster": ClusterConfig,
+    "runtime": RuntimeConfig,
+}
+
+
+def _field_from_dict(name, value):
+    nested = _NESTED_CONFIG_TYPES.get(name)
+    if nested is not None:
+        return nested(**value)
+    return value

@@ -1,0 +1,18 @@
+# virtual-path: src/repro/experiments/cache.py
+"""Fixture: config_key hand-rolls the hashed dict and misses fields —
+``alpha`` and ``runtime`` never invalidate the cache — and forgets the
+schema version."""
+
+import hashlib
+import json
+
+
+def config_key(config):
+    payload = json.dumps(
+        {
+            "name": config.name,
+            "seed": config.seed,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()

@@ -1,0 +1,22 @@
+# virtual-path: src/repro/experiments/config.py
+"""Fixture: config whose cache key hashes an explicit field subset."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    interval_s: float = 20.0
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    name: str = "experiment"
+    seed: int = 0
+    alpha: float = 1.0
+    runtime: RuntimeConfig = field(default_factory=RuntimeConfig)
+
+
+_NESTED_CONFIG_TYPES = {
+    "runtime": RuntimeConfig,
+}

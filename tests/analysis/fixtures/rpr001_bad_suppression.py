@@ -1,0 +1,12 @@
+# virtual-path: src/repro/sim/unjustified.py
+"""Fixture: suppressions without justification do not suppress."""
+
+import time
+
+
+def sloppy():
+    return time.time()  # repro-lint: disable=RPR001
+
+
+def wrong_code():
+    return time.time()  # repro-lint: disable=BOGUS -- not a real code

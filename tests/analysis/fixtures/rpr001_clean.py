@@ -1,0 +1,24 @@
+# virtual-path: src/repro/sim/clean_stream_use.py
+"""Fixture: deterministic sim-path code RPR001 must not flag."""
+
+import random
+from typing import Optional
+
+
+class ArrivalProcess:
+    def __init__(self, rng: random.Random, keys: set) -> None:
+        self.rng = rng
+        self.keys = keys
+
+    def next_delay(self) -> float:
+        return self.rng.expovariate(1.0)
+
+    def drain_sorted(self):
+        for key in sorted(self.keys):
+            yield key
+        for key in sorted({3, 1, 2}):
+            yield key
+
+
+def membership(x: int, allowed: Optional[set] = None) -> bool:
+    return x in (allowed or {1, 2, 3})

@@ -1,0 +1,11 @@
+# virtual-path: src/repro/experiments/wallclock_report.py
+"""Fixture: wall-clock use outside the sim scope is RPR001-clean
+(experiment reporting legitimately measures real elapsed time)."""
+
+import time
+
+
+def measure(fn):
+    started = time.perf_counter()
+    fn()
+    return time.perf_counter() - started

@@ -1,0 +1,9 @@
+# virtual-path: src/repro/sim/justified.py
+"""Fixture: a justified suppression silences the finding."""
+
+import time
+
+
+def boot_banner():
+    # Printed once before the sim starts; never feeds simulation state.
+    return time.time()  # repro-lint: disable=RPR001 -- log banner only, result never enters sim state

@@ -1,0 +1,30 @@
+# virtual-path: src/repro/sim/clocky.py
+"""Fixture: every flavour of ambient nondeterminism RPR001 catches."""
+
+import os
+import random
+import time
+from datetime import datetime
+
+
+def stamp_arrival(event):
+    event.at = time.time()
+    event.wall = datetime.now()
+    return event
+
+
+def jitter():
+    return random.random() * 0.5 + random.gauss(0.0, 1.0)
+
+
+def salt():
+    return os.urandom(8)
+
+
+def drain(pending: set):
+    for key in {1, 2, 3}:
+        yield key
+    for key in set(pending):
+        yield key
+    total = sum(x for x in {4, 5})
+    return total

@@ -1,0 +1,23 @@
+# virtual-path: src/repro/txn/epoch_clean.py
+"""Fixture: reading epochs and staging changes is the sanctioned path."""
+
+
+def route(store, key):
+    epoch = store.pin()
+    try:
+        return epoch.primary_of(key)
+    finally:
+        store.unpin(epoch)
+
+
+def relocate(store, key, source, destination):
+    stage = store.begin_stage()
+    stage.mark_moving(key)
+    stage.move(key, source, destination)
+    return store.publish(stage)
+
+
+def inspect(store):
+    sizes = store.current_epoch.partition_sizes()
+    live_size = len(store.live_map)
+    return sizes, live_size

@@ -1,0 +1,37 @@
+# virtual-path: src/repro/sim/events.py
+"""Fixture: hot-path classes with and without __slots__."""
+
+import enum
+from dataclasses import dataclass
+
+
+class EventState(enum.Enum):
+    PENDING = "pending"
+
+
+class SlottedEvent:
+    __slots__ = ("env", "callbacks")
+
+    def __init__(self, env):
+        self.env = env
+        self.callbacks = []
+
+
+@dataclass(slots=True)
+class SlottedRecord:
+    key: int
+    value: int = 0
+
+
+class SimulationTimeout(Exception):
+    pass
+
+
+class UnslottedEvent:
+    def __init__(self, env):
+        self.env = env
+
+
+@dataclass
+class UnslottedRecord:
+    key: int

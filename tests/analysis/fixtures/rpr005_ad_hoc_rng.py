@@ -1,0 +1,17 @@
+# virtual-path: src/repro/core/ad_hoc_rng.py
+"""Fixture: ad-hoc RNG construction anywhere under src/repro."""
+
+import random
+
+import numpy as np
+
+
+class NoisyComponent:
+    def __init__(self, seed: int = 0) -> None:
+        self.rng = random.Random(seed)
+        self.entropy = random.SystemRandom()
+        self.np_rng = np.random.default_rng(seed)
+
+
+def make_stream(seed):
+    return random.Random(seed)

@@ -1,0 +1,17 @@
+# virtual-path: src/repro/core/injected_clean.py
+"""Fixture: injected streams are the sanctioned pattern."""
+
+import random
+from typing import Optional
+
+
+class Component:
+    def __init__(self, rng: random.Random) -> None:
+        self.rng = rng
+
+    def flip(self, p: float) -> bool:
+        return self.rng.random() < p
+
+
+def build(streams, name: str, rng: Optional[random.Random] = None):
+    return Component(rng if rng is not None else streams.stream(name))

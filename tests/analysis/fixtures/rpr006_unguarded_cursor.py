@@ -1,0 +1,46 @@
+# virtual-path: src/repro/sim/environment.py
+"""Fixture: loop-carried cursor write-back with and without finally."""
+
+
+class Scheduler:
+    def __init__(self):
+        self._bucket = []
+        self._pos = 0
+
+    def drain_unguarded(self, horizon):
+        bucket = self._bucket
+        pos = self._pos
+        while pos < len(bucket):
+            entry = bucket[pos]
+            if entry[0] > horizon:
+                break
+            pos += 1
+            entry[1]()
+        self._pos = pos
+
+    def drain_guarded(self, horizon):
+        bucket = self._bucket
+        pos = self._pos
+        try:
+            while pos < len(bucket):
+                entry = bucket[pos]
+                if entry[0] > horizon:
+                    break
+                pos += 1
+                entry[1]()
+        finally:
+            self._pos = pos
+
+    def read_only_peek(self):
+        pos = self._pos
+        if pos < len(self._bucket):
+            return self._bucket[pos][0]
+        return None
+
+    def resync_in_loop(self):
+        while True:
+            pos = self._pos
+            if pos >= len(self._bucket):
+                return None
+            self._pos = pos + 1
+            return self._bucket[pos]

@@ -1,0 +1,88 @@
+"""Shared helpers for the repro-lint test corpus.
+
+Fixture files carry a ``# virtual-path:`` header assigning the logical
+repository path the rules should scope them under, so deliberate
+violations can live in ``tests/analysis/fixtures/`` without ever being
+picked up by a real lint run (the CLI skips ``fixtures`` directories).
+
+Golden files hold the expected ruff-style output.  Regenerate them
+after an intentional rule change with::
+
+    REPRO_LINT_REGEN=1 python -m pytest tests/analysis/test_golden.py
+
+and review the diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from pathlib import Path
+
+from repro.analysis import AnalysisResult, analyze_sources
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+_VIRTUAL_PATH_RE = re.compile(r"^#\s*virtual-path:\s*(?P<path>\S+)\s*$")
+
+REGEN = os.environ.get("REPRO_LINT_REGEN") == "1"
+
+
+def virtual_path(source: str, fixture: Path) -> str:
+    """The logical path declared on the fixture's first line."""
+    first_line = source.splitlines()[0] if source else ""
+    match = _VIRTUAL_PATH_RE.match(first_line)
+    if match is None:
+        raise AssertionError(
+            f"{fixture}: missing '# virtual-path: <logical path>' header"
+        )
+    return match.group("path")
+
+
+def load_sources(fixture: Path) -> dict[str, str]:
+    """Fixture sources keyed by virtual path.
+
+    A file fixture yields one module; a directory fixture yields one
+    module per ``*.py`` file inside it (cross-file project rules).
+    """
+    files = sorted(fixture.glob("*.py")) if fixture.is_dir() else [fixture]
+    sources: dict[str, str] = {}
+    for file in files:
+        text = file.read_text(encoding="utf-8")
+        sources[virtual_path(text, file)] = text
+    if not sources:
+        raise AssertionError(f"{fixture}: no fixture sources found")
+    return sources
+
+
+def analyze_fixture(fixture: Path) -> AnalysisResult:
+    return analyze_sources(load_sources(fixture))
+
+
+def rendered_findings(result: AnalysisResult) -> str:
+    return "\n".join(f.format_text() for f in result.findings)
+
+
+def expected_path(fixture: Path) -> Path:
+    if fixture.is_dir():
+        return fixture / "expected.txt"
+    return fixture.with_suffix(".expected")
+
+
+def check_golden(fixture: Path) -> None:
+    """Compare (or, under REPRO_LINT_REGEN=1, rewrite) the golden file."""
+    actual = rendered_findings(analyze_fixture(fixture))
+    golden = expected_path(fixture)
+    if REGEN:
+        golden.write_text(actual + ("\n" if actual else ""), encoding="utf-8")
+        return
+    expected = (
+        golden.read_text(encoding="utf-8").rstrip("\n")
+        if golden.exists()
+        else ""
+    )
+    assert actual == expected, (
+        f"{fixture.name}: findings diverge from {golden.name}\n"
+        f"--- expected ---\n{expected}\n--- actual ---\n{actual}\n"
+        "(regenerate with REPRO_LINT_REGEN=1 if the change is intentional)"
+    )

@@ -1,0 +1,102 @@
+"""RPR002 hardening: prove the cache-key soundness net actually closes.
+
+Two layers must both catch a new ExperimentConfig field:
+
+1. **Static** — RPR002 cross-checks the dataclass against the
+   deserialisation map, so a nested-config field added without a
+   ``_NESTED_CONFIG_TYPES`` entry fails the lint on the *real* cache
+   module (no synthetic cache needed).
+2. **Runtime** — ``config_key`` hashes ``dataclasses.asdict`` of the
+   whole config, so any extra field changes the key.  There is no
+   "forgot to add it to the key" failure mode, which is exactly why the
+   rule only has to police the deserialisation side.
+
+The injection happens on an in-memory *copy* of the real sources; the
+files on disk are untouched.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+
+from repro.analysis import analyze_sources
+from repro.experiments.cache import config_key
+from repro.experiments.config import ExperimentConfig
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+CONFIG_PATH = "src/repro/experiments/config.py"
+CACHE_PATH = "src/repro/experiments/cache.py"
+
+SENTINEL_FIELD = "    name: str = \"experiment\"\n"
+SYNTHETIC_FIELD = (
+    "    name: str = \"experiment\"\n"
+    "    shadow: ShadowConfig = field(default_factory=lambda: None)\n"
+)
+
+
+def _real_sources() -> dict[str, str]:
+    return {
+        CONFIG_PATH: (REPO_ROOT / CONFIG_PATH).read_text(encoding="utf-8"),
+        CACHE_PATH: (REPO_ROOT / CACHE_PATH).read_text(encoding="utf-8"),
+    }
+
+
+def _rpr002(sources: dict[str, str]) -> list[str]:
+    result = analyze_sources(sources, select=["RPR002"])
+    return [f.format_text() for f in result.findings]
+
+
+def test_real_tree_is_rpr002_clean() -> None:
+    assert _rpr002(_real_sources()) == []
+
+
+def test_synthetic_extra_field_trips_the_rule() -> None:
+    """Adding a nested-config field without wiring deserialisation fails."""
+    sources = _real_sources()
+    assert SENTINEL_FIELD in sources[CONFIG_PATH], (
+        "ExperimentConfig layout changed; update the injection anchor"
+    )
+    sources[CONFIG_PATH] = sources[CONFIG_PATH].replace(
+        SENTINEL_FIELD, SYNTHETIC_FIELD, 1
+    )
+    findings = _rpr002(sources)
+    assert len(findings) == 1
+    assert "shadow" in findings[0]
+    assert "RPR002" in findings[0]
+
+
+def test_gutted_config_key_trips_the_rule() -> None:
+    """A hand-rolled partial key (not asdict) must list every field."""
+    sources = _real_sources()
+    sources[CACHE_PATH] = sources[CACHE_PATH].replace(
+        '"config": dataclasses.asdict(config),',
+        '"config": {"name": config.name, "seed": config.seed},',
+        1,
+    )
+    findings = _rpr002(sources)
+    assert len(findings) == 1
+    assert "scheduler" in findings[0]  # one of the dropped fields
+
+
+def test_runtime_cache_key_covers_extra_fields() -> None:
+    """``config_key`` hashes asdict(), so new fields change the key.
+
+    This is the runtime half of the invariant: the key derivation can
+    never silently ignore a field, so no cache-schema bump is needed
+    when fields are added -- only the deserialisation map (which RPR002
+    polices) can fall behind.
+    """
+    Extended = dataclasses.make_dataclass(
+        "ExperimentConfig",
+        [("extra_knob", float, dataclasses.field(default=0.0))],
+        bases=(ExperimentConfig,),
+        frozen=True,
+    )
+    base = ExperimentConfig(name="hardening", seed=7)
+    same = Extended(name="hardening", seed=7, extra_knob=0.0)
+    other = Extended(name="hardening", seed=7, extra_knob=1.5)
+    # The extra field feeds the hash: flipping only it changes the key.
+    assert config_key(same) != config_key(other)
+    # And its mere presence separates the extended config from the base.
+    assert config_key(base) != config_key(same)

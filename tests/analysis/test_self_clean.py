@@ -1,0 +1,28 @@
+"""The repo must pass its own linter (acceptance criterion for the tool).
+
+This is the same invocation CI runs; keeping it in tier-1 means a
+violation fails locally before it ever reaches the blocking CI job.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_repo_is_clean_under_own_linter(
+    monkeypatch: pytest.MonkeyPatch,
+    capsys: pytest.CaptureFixture[str],
+) -> None:
+    monkeypatch.chdir(REPO_ROOT)
+    exit_code = main(["src", "tests", "benchmarks"])
+    captured = capsys.readouterr()
+    assert exit_code == 0, (
+        "repro-lint found violations in the tree:\n" + captured.out
+    )
+    assert "0 finding(s)" in captured.err

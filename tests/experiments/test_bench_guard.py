@@ -7,7 +7,14 @@ import sys
 _BENCHMARKS = pathlib.Path(__file__).resolve().parents[2] / "benchmarks"
 sys.path.insert(0, str(_BENCHMARKS))
 
-from bench_guard import compare, main, validate_schema  # noqa: E402
+from bench_guard import (  # noqa: E402
+    PROVENANCE_FIELDS,
+    SCHEMAS,
+    compare,
+    kind_for_path,
+    main,
+    validate_schema,
+)
 
 
 def _payload(**overrides):
@@ -76,6 +83,80 @@ class TestSchema:
 
     def test_non_object_rejected(self):
         assert validate_schema([1, 2, 3]) != []
+
+
+def _routing_payload(**overrides):
+    base = {
+        "recorded_at": "2026-08-08T00:00:00",
+        "python": "3.11.7",
+        "cpu_count": 4,
+        "map_sizes": [1_000, 10_000],
+        "publish_batch": 64,
+        "route_read_per_s": 4_000_000,
+        "route_write_per_s": 3_000_000,
+        "pinned_epoch_read_per_s": 6_000_000,
+        "epoch_publish_ms_by_map_size": {"1000": 0.1},
+        "partition_sizes_per_s_by_map_size": {"1000": 900.0},
+    }
+    base.update(overrides)
+    return base
+
+
+class TestSchemaKinds:
+    def test_kind_inferred_from_filename(self):
+        assert kind_for_path("BENCH_engine.json") == "engine"
+        assert kind_for_path("/ci/BENCH_routing.json") == "routing"
+        assert kind_for_path("BENCH_future_thing.json") == "generic"
+        assert kind_for_path("results.json") == "generic"
+
+    def test_every_schema_requires_provenance(self):
+        for kind, fields in SCHEMAS.items():
+            assert set(PROVENANCE_FIELDS) <= set(fields), kind
+
+    def test_committed_routing_baseline_passes(self):
+        committed = json.loads(
+            (_BENCHMARKS.parent / "BENCH_routing.json").read_text()
+        )
+        assert validate_schema(committed, "routing") == []
+
+    def test_routing_payload_checked_against_routing_schema(self):
+        assert validate_schema(_routing_payload(), "routing") == []
+        payload = _routing_payload()
+        del payload["route_read_per_s"]
+        assert any(
+            "route_read_per_s" in p for p in validate_schema(payload, "routing")
+        )
+
+    def test_missing_provenance_fails_every_kind(self):
+        for kind, payload in (
+            ("engine", _payload()),
+            ("routing", _routing_payload()),
+            ("generic", {"recorded_at": "x", "python": "3.11.7"}),
+        ):
+            payload.pop("cpu_count", None)
+            assert any(
+                "cpu_count" in p for p in validate_schema(payload, kind)
+            ), kind
+
+    def test_generic_kind_ignores_extra_metrics(self):
+        payload = {
+            "recorded_at": "2026-08-08T00:00:00",
+            "python": "3.11.7",
+            "cpu_count": 2,
+            "whatever_per_s": 123,
+        }
+        assert validate_schema(payload, "generic") == []
+
+    def test_unknown_kind_rejected(self):
+        assert validate_schema(_payload(), "bogus") != []
+
+    def test_cli_kind_override(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_routing.json"
+        path.write_text(json.dumps(_routing_payload()))
+        assert main(["check-schema", str(path)]) == 0
+        assert "(routing)" in capsys.readouterr().out
+        # Forcing the engine schema onto a routing file fails loudly.
+        assert main(["check-schema", str(path), "--kind", "engine"]) == 1
 
 
 class TestCompare:

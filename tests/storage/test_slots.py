@@ -1,0 +1,45 @@
+"""Hot-path storage classes stay slotted (regression for RPR004 fixes).
+
+``Record`` is allocated once per stored tuple (500k at paper scale, per
+replica) and ``WalRecord`` once per logged operation, so an accidental
+return to ``__dict__``-backed instances is a real memory regression.
+These tests pin the invariant the linter enforces statically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.record import Record
+from repro.storage.wal import WalRecord, WalRecordType, WriteAheadLog
+
+
+def test_record_has_no_instance_dict() -> None:
+    record = Record(key=1, value=10)
+    assert not hasattr(record, "__dict__")
+    with pytest.raises(AttributeError):
+        record.stray = True  # type: ignore[attr-defined]
+
+
+def test_record_behaviour_unchanged_by_slots() -> None:
+    record = Record(key=1, value=10)
+    record.write(11)
+    assert (record.value, record.version) == (11, 1)
+    clone = record.copy()
+    clone.write(12)
+    assert record.value == 11  # copy is independent
+    assert clone.version == 2
+
+
+def test_wal_record_is_frozen_and_slotted() -> None:
+    entry = WalRecord(lsn=1, type=WalRecordType.BEGIN, txn_id=7)
+    assert not hasattr(entry, "__dict__")
+    with pytest.raises(AttributeError):
+        entry.lsn = 2  # type: ignore[misc]
+
+
+def test_write_ahead_log_is_slotted() -> None:
+    log = WriteAheadLog(partition_id=0)
+    assert not hasattr(log, "__dict__")
+    with pytest.raises(AttributeError):
+        log.stray = True  # type: ignore[attr-defined]
