@@ -76,11 +76,30 @@ ROUTING_REQUIRED_FIELDS: dict[str, tuple[type, ...]] = {
     "partition_sizes_per_s_by_map_size": (dict,),
 }
 
+#: Required fields for ``BENCH_scale.json`` (cluster-scale tier).
+SCALE_REQUIRED_FIELDS: dict[str, tuple[type, ...]] = {
+    **PROVENANCE_FIELDS,
+    "tuple_count": (int,),
+    "node_counts": (list,),
+    "rss_unit": (str,),
+    "build_wall_clock_s_by_nodes": (dict,),
+    "peak_rss_by_nodes": (dict,),
+    "route_read_per_s": (int, float),
+    "pinned_epoch_read_per_s": (int, float),
+    "epoch_publish_ms": (int, float),
+    "compact_bytes_per_tuple": (int, float),
+    "standard_bytes_per_tuple": (int, float),
+    "dense_map_bytes_per_key": (int, float),
+    "standard_map_bytes_per_key": (int, float),
+    "stack_bytes_ratio": (int, float),
+}
+
 #: Field sets by schema kind; ``generic`` accepts any metrics but still
 #: insists on provenance.
 SCHEMAS: dict[str, dict[str, tuple[type, ...]]] = {
     "engine": REQUIRED_FIELDS,
     "routing": ROUTING_REQUIRED_FIELDS,
+    "scale": SCALE_REQUIRED_FIELDS,
     "generic": PROVENANCE_FIELDS,
 }
 
@@ -132,6 +151,16 @@ def validate_schema(payload: Any, kind: str = "engine") -> list[str]:
                 "parallel_speedup must be null when cpu_count < 2 "
                 "(a single-core 'speedup' is timesharing noise)"
             )
+    if not problems and kind == "scale":
+        # The per-node-count series must cover exactly the node counts
+        # the file claims to have measured.
+        counts = {str(n) for n in payload["node_counts"]}
+        for series in ("peak_rss_by_nodes", "build_wall_clock_s_by_nodes"):
+            if set(payload[series]) != counts:
+                problems.append(
+                    f"{series} keys {sorted(payload[series])} do not match "
+                    f"node_counts {sorted(counts)}"
+                )
     return problems
 
 

@@ -1,0 +1,294 @@
+"""Perf harness for the cluster-scale tier: memory and wall-clock vs nodes.
+
+Builds the ``production_scale`` preset's dataset layer (streaming type
+generation → dense partition map → compact per-node stores) at each
+node count and writes ``BENCH_scale.json`` at the repo root:
+
+* **build wall-clock + peak RSS per node count** — the headline scale
+  numbers: assembling a 1M-tuple cluster must stay flat-ish in time and
+  memory as nodes grow from 100 to 500 (the dataset dominates both; the
+  per-node overhead is bounded).  Node counts run ascending because
+  ``ru_maxrss`` is a process-lifetime high-water mark.
+* **routing at scale** — route reads, deep-pinned epoch reads, and
+  publish latency against the 1M-key dense map, proving the O(1)
+  fast paths hold at three orders of magnitude above the figure presets;
+* **compact vs standard bytes/tuple** — a tracemalloc pass (separate
+  from the wall-clock section: tracing slows allocation) loading the
+  same sample into both store implementations.
+
+Correctness is asserted alongside the timings.  Uses no pytest plugins:
+``PYTHONPATH=src python -m pytest -x -q benchmarks/test_perf_scale.py``.
+Environment overrides for local deep runs (CI uses the defaults):
+``REPRO_SCALE_TUPLES`` (dataset size, default 1,000,000, 10M supported)
+and ``REPRO_SCALE_NODES`` (comma-separated, default ``100,250,500``).
+"""
+
+import json
+import os
+import pathlib
+import platform
+import resource
+import time
+import tracemalloc
+
+from repro.experiments import production_scale, uses_compact_storage
+from repro.experiments.runner import make_partition_map, resolve_store_factory
+from repro.routing import (
+    DensePartitionMap,
+    PartitionMap,
+    PartitionMapStore,
+    QueryRouter,
+)
+from repro.sim.random import RandomStreams
+from repro.storage import CompactPartitionStore, PartitionStore, Record
+from repro.workload.dataset import (
+    choose_distributed_type_ids,
+    initial_placement,
+    place_unprofiled_keys,
+)
+from repro.workload.generator import iter_profile_types
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_PATH = ROOT / "BENCH_scale.json"
+
+TUPLE_COUNT = int(os.environ.get("REPRO_SCALE_TUPLES", 1_000_000))
+NODE_COUNTS = tuple(
+    int(n) for n in os.environ.get("REPRO_SCALE_NODES", "100,250,500").split(",")
+)
+ROUTE_CALLS = 200_000
+PUBLISH_BATCH = 64
+PINNED_DEPTH = 10
+#: Tuples per store in the tracemalloc bytes-per-tuple comparison.
+MEMCMP_TUPLES = 200_000
+
+
+def _peak_rss_kb() -> int:
+    """Process high-water RSS in KB (Linux ru_maxrss unit)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+
+class _StoreRack:
+    """Minimal stand-in for the cluster's store-per-partition layout.
+
+    The bench loads the dataset without the full node machinery (locks,
+    work servers, WAL) so the recorded memory is the storage layer's,
+    not the simulation scaffolding's.
+    """
+
+    def __init__(self, node_count, store_factory):
+        self.stores = [store_factory(pid) for pid in range(node_count)]
+
+    def load(self, pmap, rng) -> int:
+        loaded = 0
+        stores = self.stores
+        for key in pmap.keys():
+            for pid in pmap.replicas_of(key):
+                stores[pid].insert(
+                    Record(key=key, value=rng.randrange(1_000_000))
+                )
+                loaded += 1
+        return loaded
+
+
+def _build_dataset(node_count: int, tuple_count: int):
+    """Assemble the scale preset's dataset layer; returns (store, rack, s)."""
+    config = production_scale(node_count=node_count, tuple_count=tuple_count)
+    assert uses_compact_storage(config)
+    store_factory = resolve_store_factory(config)
+    assert store_factory is CompactPartitionStore
+    streams = RandomStreams(config.seed)
+    started = time.perf_counter()
+    partitions = list(range(node_count))
+    distributed = choose_distributed_type_ids(
+        config.workload.distinct_types,
+        config.alpha,
+        streams.stream("placement"),
+    )
+    pmap = initial_placement(
+        iter_profile_types(config.workload),
+        partitions,
+        distributed,
+        pmap=make_partition_map(config),
+    )
+    assert isinstance(pmap, DensePartitionMap)
+    place_unprofiled_keys(pmap, tuple_count, partitions)
+    rack = _StoreRack(node_count, store_factory)
+    loaded = rack.load(pmap, streams.stream("values"))
+    elapsed = time.perf_counter() - started
+    assert loaded == tuple_count
+    assert len(pmap) == tuple_count
+    assert sum(len(s) for s in rack.stores) == tuple_count
+    map_store = PartitionMapStore(pmap)
+    return map_store, rack, elapsed
+
+
+def _time_route_reads(store: PartitionMapStore, n: int) -> float:
+    router = QueryRouter(store)
+    n_keys = len(store)
+    keys = [(i * 7919) % n_keys for i in range(1000)]
+    started = time.perf_counter()
+    for i in range(n):
+        router.route_read(keys[i % 1000])
+    elapsed = time.perf_counter() - started
+    assert router.reads_routed == n
+    return n / elapsed
+
+
+def _time_pinned_reads(store: PartitionMapStore, n: int, partitions: int):
+    router = QueryRouter(store)
+    pinned = store.pin()
+    moved = []
+    for i in range(PINNED_DEPTH):
+        stage = store.begin_stage()
+        key = i * 13
+        primary = store.primary_of(key)
+        stage.move(key, primary, (primary + 1) % partitions)
+        store.publish(stage)
+        moved.append((key, primary))
+    n_keys = len(store)
+    keys = [(i * 7919) % n_keys for i in range(1000)]
+    started = time.perf_counter()
+    for i in range(n):
+        router.route_read(keys[i % 1000], epoch=pinned)
+    elapsed = time.perf_counter() - started
+    for key, old_primary in moved:
+        assert pinned.primary_of(key) == old_primary
+    store.unpin(pinned)
+    return n / elapsed
+
+
+def _time_publish(store: PartitionMapStore, partitions: int, rounds: int = 20):
+    """Mean latency of staging + publishing PUBLISH_BATCH moves."""
+    n_keys = len(store)
+    latencies = []
+    published = store.publishes
+    for round_index in range(rounds):
+        stage = store.begin_stage()
+        base = (round_index * PUBLISH_BATCH * 31) % n_keys
+        staged = 0
+        offset = 0
+        while staged < PUBLISH_BATCH:
+            key = (base + offset * 17) % n_keys
+            offset += 1
+            if key in stage.staged_keys:
+                continue
+            primary = store.primary_of(key)
+            stage.move(key, primary, (primary + 1) % partitions)
+            staged += 1
+        started = time.perf_counter()
+        store.publish(stage)
+        latencies.append(time.perf_counter() - started)
+    assert store.publishes == published + rounds
+    return sum(latencies) / len(latencies)
+
+
+def _bytes_per_tuple(store_factory, n: int) -> float:
+    """Heap bytes per resident tuple for one store implementation."""
+    tracemalloc.start()
+    try:
+        before, _ = tracemalloc.get_traced_memory()
+        store = store_factory(0)
+        for key in range(n):
+            store.insert(Record(key=key, value=key * 31))
+        after, _ = tracemalloc.get_traced_memory()
+        assert len(store) == n
+        return (after - before) / n
+    finally:
+        tracemalloc.stop()
+
+
+def _map_bytes_per_key(map_factory, n: int) -> float:
+    """Heap bytes per mapped key for one partition-map implementation."""
+    tracemalloc.start()
+    try:
+        before, _ = tracemalloc.get_traced_memory()
+        pmap = map_factory()
+        for key in range(n):
+            pmap.assign(key, key % 8)
+        after, _ = tracemalloc.get_traced_memory()
+        assert len(pmap) == n
+        return (after - before) / n
+    finally:
+        tracemalloc.stop()
+
+
+def test_perf_scale():
+    assert NODE_COUNTS == tuple(sorted(NODE_COUNTS)), (
+        "node counts must ascend: ru_maxrss only ever grows, so an "
+        "out-of-order run would attribute a bigger config's peak to a "
+        "smaller one"
+    )
+    payload = {
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "tuple_count": TUPLE_COUNT,
+        "node_counts": list(NODE_COUNTS),
+        "rss_unit": "KB" if platform.system() == "Linux" else "platform",
+    }
+
+    # Dataset assembly per node count (ascending; see module docstring).
+    build_s = {}
+    peak_rss = {}
+    scale_store = None
+    for node_count in NODE_COUNTS:
+        map_store, rack, elapsed = _build_dataset(node_count, TUPLE_COUNT)
+        build_s[str(node_count)] = round(elapsed, 3)
+        peak_rss[str(node_count)] = _peak_rss_kb()
+        scale_store = map_store
+        largest = max(len(s) for s in rack.stores)
+        smallest = min(len(s) for s in rack.stores)
+        # Round-robin cold placement keeps stores balanced.
+        assert largest - smallest <= TUPLE_COUNT // node_count
+        del rack
+    payload["build_wall_clock_s_by_nodes"] = build_s
+    payload["peak_rss_by_nodes"] = peak_rss
+
+    # Routing fast paths against the biggest map just built.
+    partitions = NODE_COUNTS[-1]
+    payload["route_read_per_s"] = round(
+        _time_route_reads(scale_store, ROUTE_CALLS)
+    )
+    payload["pinned_epoch_read_per_s"] = round(
+        _time_pinned_reads(scale_store, ROUTE_CALLS // 4, partitions)
+    )
+    payload["epoch_publish_ms"] = round(
+        _time_publish(scale_store, partitions) * 1000, 4
+    )
+    # The pinned-read overlay must hold up at 1M+ keys exactly as it
+    # does in BENCH_routing.json's 10k-key microbench.
+    assert payload["pinned_epoch_read_per_s"] >= (
+        0.4 * payload["route_read_per_s"]
+    ), payload
+    del scale_store
+
+    # Memory: compact vs standard stack, traced heap bytes per tuple.
+    # A tuple costs one store entry plus one partition-map entry, so the
+    # honest comparison is the sum.  The store saves the per-tuple
+    # Record graph; the dense map turns ~150 dict-and-list bytes per key
+    # into one 4-byte array cell — together the lean stack must stay
+    # under 0.6x the standard stack's bytes per tuple.
+    compact = _bytes_per_tuple(CompactPartitionStore, MEMCMP_TUPLES)
+    standard = _bytes_per_tuple(PartitionStore, MEMCMP_TUPLES)
+    dense_map = _map_bytes_per_key(
+        lambda: DensePartitionMap(MEMCMP_TUPLES), MEMCMP_TUPLES
+    )
+    standard_map = _map_bytes_per_key(PartitionMap, MEMCMP_TUPLES)
+    payload["compact_bytes_per_tuple"] = round(compact, 2)
+    payload["standard_bytes_per_tuple"] = round(standard, 2)
+    payload["dense_map_bytes_per_key"] = round(dense_map, 2)
+    payload["standard_map_bytes_per_key"] = round(standard_map, 2)
+    stack_ratio = (compact + dense_map) / (standard + standard_map)
+    payload["stack_bytes_ratio"] = round(stack_ratio, 4)
+    assert compact < standard, (
+        f"compact store lost its memory edge: {compact:.1f} vs "
+        f"{standard:.1f} bytes/tuple"
+    )
+    assert dense_map < 0.25 * standard_map, (
+        f"dense map lost its memory edge: {dense_map:.1f} vs "
+        f"{standard_map:.1f} bytes/key"
+    )
+    assert stack_ratio < 0.6, payload
+
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))

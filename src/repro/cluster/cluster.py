@@ -9,8 +9,9 @@ from ..errors import ConfigError
 from ..locking.deadlock import DeadlockDetector
 from ..sim.network import Network
 from ..sim.random import RandomStreams
+from ..storage.partition_store import PartitionStore
 from ..types import NodeId, PartitionId
-from .node import DataNode
+from .node import DataNode, StoreFactory
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..sim.environment import Environment
@@ -53,6 +54,7 @@ class Cluster:
         env: "Environment",
         config: ClusterConfig,
         streams: Optional[RandomStreams] = None,
+        store_factory: StoreFactory = PartitionStore,
     ) -> None:
         self.env = env
         self.config = config
@@ -70,6 +72,7 @@ class Cluster:
                 capacity_units_per_s=config.capacity_units_per_s,
                 max_connections=config.max_connections,
                 detector=self.detector,
+                store_factory=store_factory,
             )
             for i in range(config.node_count)
         ]

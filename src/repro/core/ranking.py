@@ -64,10 +64,20 @@ def generate_and_rank(
         op.benefit = 0.0  # reset accumulators from any previous run
 
     # Lines 1-5: build Top (type -> ops touching its keys), filtered to
-    # types that actually improve under the plan.
+    # types that actually improve under the plan.  Only types touching a
+    # repartitioned key can join Top (a full-profile scan would skip the
+    # rest before any arithmetic), so candidates come from the profile's
+    # inverted index — restored to profile iteration order because the
+    # benefit spread below accumulates floats in that order.
+    key_index = profile.key_index()
+    candidate_ids: set[int] = set()
+    for key in ops_by_key:
+        for candidate in key_index.get(key, ()):
+            candidate_ids.add(candidate.type_id)
     top: dict[int, list[RepartitionOperation]] = {}
     improvements: dict[int, float] = {}
-    for ttype in profile.types:
+    for type_id in sorted(candidate_ids, key=profile.position):
+        ttype = profile.type(type_id)
         group: list[RepartitionOperation] = []
         seen: set[int] = set()
         for key in ttype.keys:

@@ -4,7 +4,7 @@ An :class:`ExperimentConfig` captures one cell of the paper's evaluation
 matrix: workload distribution (Zipf/Uniform) × load level (High/Low) ×
 α (fraction of transactions to fix) × scheduling algorithm.
 
-Three scale presets are provided:
+Four scale presets are provided:
 
 * ``paper_scale()`` — the paper's literal sizes (500k tuples, 23k-30k
   transaction types, 45-minute runs).  Faithful but slow in a pure-
@@ -16,6 +16,9 @@ Three scale presets are provided:
   to capacity, repartition work relative to capacity, distributed-vs-
   local cost factor, interval structure), so the figures keep their
   shape while a full run takes seconds.
+* ``production_scale()`` — the cluster-scale tier (100-500 nodes,
+  1M-10M tuples) exercising the memory-lean storage/routing fast paths;
+  the ``BENCH_scale.json`` perf tier is built on it.
 """
 
 from __future__ import annotations
@@ -92,8 +95,18 @@ class RuntimeConfig:
     #: Bound on the partition-map store's epoch delta log; epochs older
     #: than the window (and unpinned) become unreadable.
     epoch_log_limit: int = 1024
+    #: Which per-partition tuple-store implementation the nodes run:
+    #: ``"standard"`` (one Record object per tuple), ``"compact"`` (flat
+    #: array columns, memory-lean), or ``"auto"`` — compact once the
+    #: dataset reaches the cluster-scale threshold, standard below it.
+    storage_tier: str = "auto"
 
     def __post_init__(self) -> None:
+        if self.storage_tier not in ("auto", "standard", "compact"):
+            raise ConfigError(
+                f"unknown storage_tier {self.storage_tier!r}; "
+                "expected 'auto', 'standard', or 'compact'"
+            )
         if self.interval_s <= 0:
             raise ConfigError("interval must be positive")
         if self.warmup_intervals < 0 or self.measure_intervals < 1:
@@ -310,6 +323,66 @@ def medium_scale(
     )
     return ExperimentConfig(
         name=f"medium-{scheduler}-{distribution}-{load}-a{int(alpha * 100)}",
+        seed=seed,
+        scheduler=scheduler,
+        distribution=distribution,
+        load=load,
+        alpha=alpha,
+        cluster=cluster,
+        workload=workload,
+        runtime=runtime,
+    )
+
+
+def production_scale(
+    scheduler: str = "Hybrid",
+    distribution: str = "zipf",
+    load: str = "high",
+    alpha: float = 1.0,
+    seed: int = 0,
+    node_count: int = 100,
+    tuple_count: int = 1_000_000,
+    measure_intervals: int = 40,
+    warmup_intervals: int = 5,
+) -> ExperimentConfig:
+    """The cluster-scale tier: 100-500 nodes, 1M-10M tuples.
+
+    Everything the paper fixes at 5-node/500k scale is scaled
+    proportionally: transaction-type counts keep the paper's
+    types-per-tuple ratios (30,000/500,000 uniform, 23,457/500,000
+    Zipf), per-node capacity stays at the medium preset's ~40 units/s so
+    offered-load calibration is unchanged, and the admission window
+    grows with the cluster.  ``storage_tier="auto"`` resolves to the
+    memory-lean compact store and dense partition map at these sizes.
+    """
+    if node_count < 1:
+        raise ConfigError(f"need at least one node, got {node_count}")
+    if tuple_count < 500_000:
+        raise ConfigError(
+            f"production scale starts at 500k tuples, got {tuple_count}"
+        )
+    if distribution == "uniform":
+        distinct = tuple_count * PAPER_UNIFORM_TYPES // PAPER_TUPLE_COUNT
+    else:
+        distinct = tuple_count * PAPER_ZIPF_TYPES // PAPER_TUPLE_COUNT
+    workload = WorkloadConfig(
+        tuple_count=tuple_count,
+        distinct_types=distinct,
+        distribution=distribution,
+        zipf_s=PAPER_ZIPF_S,
+    )
+    cluster = ClusterConfig(node_count=node_count, capacity_units_per_s=40.0)
+    runtime = RuntimeConfig(
+        measure_intervals=measure_intervals,
+        warmup_intervals=warmup_intervals,
+        max_concurrent=max(2_000, 20 * node_count),
+        storage_tier="auto",
+    )
+    return ExperimentConfig(
+        name=(
+            f"production-{scheduler}-{distribution}-{load}"
+            f"-n{node_count}-a{int(alpha * 100)}"
+        ),
         seed=seed,
         scheduler=scheduler,
         distribution=distribution,

@@ -1,6 +1,7 @@
 """Query routing: the partition lookup table, epoch-versioned map store,
 query model, parser, and router."""
 
+from .dense_map import DensePartitionMap
 from .epoch import (
     EpochStage,
     EpochTransition,
@@ -16,6 +17,7 @@ from .query import Query
 from .router import QueryRouter
 
 __all__ = [
+    "DensePartitionMap",
     "EpochStage",
     "EpochTransition",
     "MapDelta",

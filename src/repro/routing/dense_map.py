@@ -1,0 +1,280 @@
+"""Array-backed partition map for dense integer key spaces.
+
+The standard :class:`~repro.routing.partition_map.PartitionMap` stores a
+``dict[TupleKey, list[PartitionId]]`` — roughly 150 bytes per mapped
+tuple once the dict entry, the list object, and its int elements are
+counted.  At the paper's 500k-tuple scale that is ~75 MB of routing
+state; at the production tier (1M–10M tuples) the map becomes the
+coordinator's single largest allocation.
+
+:class:`DensePartitionMap` exploits the structure of that tier: tuple
+keys are consecutive integers in ``[0, capacity)`` and the overwhelming
+majority of tuples have exactly one replica.  Single-replica placements
+for in-range keys live in one flat ``array('i')`` column (4 bytes per
+key) indexed *by the key itself*; only the rare multi-replica keys spill
+to a side dict, and keys outside the dense range fall back to the
+inherited dict representation wholesale.  Lookups and mutations keep the
+exact error behaviour of ``PartitionMap`` (same messages, same check
+order), so routers, epoch stores, and schedulers cannot tell the two
+apart — asserted by the equivalence suite in
+``tests/routing/test_dense_map.py``.
+
+One deliberate divergence, documented rather than hidden:
+:meth:`keys` iterates in-range keys in **ascending key order** (the
+array is the source of truth and carries no insertion history), then
+out-of-range keys in their dict insertion order.  The standard map
+iterates purely in insertion order.  Nothing in the repository depends
+on map iteration order for figure-series determinism — the scale tier
+has its own presets — but callers that diff ``keys()`` streams across
+map implementations must sort first.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterator, Optional, Sequence
+
+from ..errors import RoutingError
+from ..types import PartitionId, TupleKey
+from .partition_map import PartitionMap
+
+#: ``_primary`` sentinel: the key is not mapped.
+_UNMAPPED = -1
+#: ``_primary`` sentinel: the key's replica list lives in ``_multi``.
+_SPILLED = -2
+
+
+class DensePartitionMap(PartitionMap):
+    """``PartitionMap`` storing dense single-replica keys in a flat array.
+
+    ``capacity`` fixes the dense key range ``[0, capacity)`` up front
+    (the production presets know their tuple count); keys outside the
+    range remain fully supported through the inherited dict paths.
+    Partition ids must be non-negative so they never collide with the
+    array's sentinel values — true of every id the cluster assigns.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__()
+        if capacity < 1:
+            raise RoutingError(
+                f"dense map capacity must be positive, got {capacity}"
+            )
+        self.capacity = capacity
+        #: Primary partition per in-range key, or a sentinel.
+        self._primary = array("i", [_UNMAPPED]) * capacity
+        #: Replica lists for in-range keys with != 1 replica.
+        self._multi: dict[TupleKey, list[PartitionId]] = {}
+        #: Mapped in-range key count (``_replicas`` holds out-of-range).
+        self._dense_count = 0
+
+    def _is_dense(self, key: TupleKey) -> bool:
+        return isinstance(key, int) and 0 <= key < self.capacity
+
+    @staticmethod
+    def _check_partition(partition_id: PartitionId) -> None:
+        if partition_id < 0:
+            raise RoutingError(
+                f"partition id must be non-negative, got {partition_id}"
+            )
+
+    def __len__(self) -> int:
+        return self._dense_count + len(self._replicas)
+
+    def __contains__(self, key: TupleKey) -> bool:
+        if self._is_dense(key):
+            return self._primary[key] != _UNMAPPED
+        return key in self._replicas
+
+    def keys(self) -> Iterator[TupleKey]:
+        """Iterate mapped keys: dense range ascending, then overflow."""
+        primary = self._primary
+        for key in range(self.capacity):
+            if primary[key] != _UNMAPPED:
+                yield key
+        yield from self._replicas
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def replicas_of(self, key: TupleKey) -> tuple[PartitionId, ...]:
+        """All partitions holding a replica of ``key`` (primary first)."""
+        if self._is_dense(key):
+            primary = self._primary[key]
+            if primary >= 0:
+                return (primary,)
+            if primary == _SPILLED:
+                return tuple(self._multi[key])
+            raise RoutingError(f"tuple {key} is not mapped to any partition")
+        return super().replicas_of(key)
+
+    def primary_of(self, key: TupleKey) -> PartitionId:
+        """The primary replica's partition — one array read when dense."""
+        if self._is_dense(key):
+            primary = self._primary[key]
+            if primary >= 0:
+                return primary
+            if primary == _SPILLED:
+                return self._multi[key][0]
+            raise RoutingError(f"tuple {key} is not mapped to any partition")
+        return super().primary_of(key)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def assign(self, key: TupleKey, partition_id: PartitionId) -> None:
+        """Initial placement of ``key`` with a single replica."""
+        if not self._is_dense(key):
+            super().assign(key, partition_id)
+            return
+        self._check_partition(partition_id)
+        if self._primary[key] != _UNMAPPED:
+            raise RoutingError(f"tuple {key} is already mapped")
+        self._primary[key] = partition_id
+        self._dense_count += 1
+        self._size_delta(partition_id, +1)
+        self.version += 1
+
+    def add_replica(self, key: TupleKey, partition_id: PartitionId) -> None:
+        """Record a new replica of ``key`` on ``partition_id``."""
+        if not self._is_dense(key):
+            super().add_replica(key, partition_id)
+            return
+        self._check_partition(partition_id)
+        primary = self._primary[key]
+        if primary == _UNMAPPED:
+            raise RoutingError(f"tuple {key} is not mapped to any partition")
+        if primary == _SPILLED:
+            replicas = self._multi[key]
+            if partition_id in replicas:
+                raise RoutingError(
+                    f"tuple {key} already has a replica on partition "
+                    f"{partition_id}"
+                )
+            replicas.append(partition_id)
+        else:
+            if partition_id == primary:
+                raise RoutingError(
+                    f"tuple {key} already has a replica on partition "
+                    f"{partition_id}"
+                )
+            self._multi[key] = [primary, partition_id]
+            self._primary[key] = _SPILLED
+        self._size_delta(partition_id, +1)
+        self.version += 1
+
+    def remove_replica(self, key: TupleKey, partition_id: PartitionId) -> None:
+        """Drop the replica of ``key`` on ``partition_id``."""
+        if not self._is_dense(key):
+            super().remove_replica(key, partition_id)
+            return
+        primary = self._primary[key]
+        if primary == _UNMAPPED:
+            raise RoutingError(f"tuple {key} is not mapped to any partition")
+        if primary == _SPILLED:
+            replicas = self._multi[key]
+            if partition_id not in replicas:
+                raise RoutingError(
+                    f"tuple {key} has no replica on partition {partition_id}"
+                )
+            if len(replicas) == 1:
+                raise RoutingError(
+                    f"cannot remove the last replica of tuple {key}"
+                )
+            replicas.remove(partition_id)
+            if len(replicas) == 1:
+                # Collapse back to the flat representation.
+                self._primary[key] = replicas[0]
+                del self._multi[key]
+        else:
+            if partition_id != primary:
+                raise RoutingError(
+                    f"tuple {key} has no replica on partition {partition_id}"
+                )
+            raise RoutingError(
+                f"cannot remove the last replica of tuple {key}"
+            )
+        self._size_delta(partition_id, -1)
+        self.version += 1
+
+    def move(
+        self, key: TupleKey, source: PartitionId, destination: PartitionId
+    ) -> None:
+        """Atomically relocate the replica of ``key`` from source to dest."""
+        if not self._is_dense(key):
+            super().move(key, source, destination)
+            return
+        self._check_partition(destination)
+        primary = self._primary[key]
+        if primary == _UNMAPPED:
+            raise RoutingError(f"tuple {key} is not mapped to any partition")
+        if primary == _SPILLED:
+            replicas = self._multi[key]
+            if source not in replicas:
+                raise RoutingError(
+                    f"tuple {key} has no replica on partition {source}"
+                )
+            if destination in replicas:
+                raise RoutingError(
+                    f"tuple {key} already has a replica on partition "
+                    f"{destination}"
+                )
+            replicas[replicas.index(source)] = destination
+        else:
+            if source != primary:
+                raise RoutingError(
+                    f"tuple {key} has no replica on partition {source}"
+                )
+            if destination == primary:
+                raise RoutingError(
+                    f"tuple {key} already has a replica on partition "
+                    f"{destination}"
+                )
+            self._primary[key] = destination
+        self._size_delta(source, -1)
+        self._size_delta(destination, +1)
+        self.version += 1
+
+    def set_replicas(
+        self, key: TupleKey, replicas: Optional[Sequence[PartitionId]]
+    ) -> None:
+        """Install ``key``'s whole replica list (``None`` unmaps it)."""
+        if not self._is_dense(key):
+            super().set_replicas(key, replicas)
+            return
+        primary = self._primary[key]
+        if primary == _SPILLED:
+            for pid in self._multi.pop(key):
+                self._size_delta(pid, -1)
+        elif primary != _UNMAPPED:
+            self._size_delta(primary, -1)
+        was_mapped = primary != _UNMAPPED
+        if replicas is None:
+            self._primary[key] = _UNMAPPED
+            if was_mapped:
+                self._dense_count -= 1
+        else:
+            installed = list(replicas)
+            for pid in installed:
+                self._check_partition(pid)
+            if len(installed) == 1:
+                self._primary[key] = installed[0]
+            else:
+                self._primary[key] = _SPILLED
+                self._multi[key] = installed
+            for pid in installed:
+                self._size_delta(pid, +1)
+            if not was_mapped:
+                self._dense_count += 1
+        self.version += 1
+
+    def copy(self) -> "DensePartitionMap":
+        """Deep copy (used to freeze 'the original plan O' for costing)."""
+        clone = DensePartitionMap(self.capacity)
+        clone._primary = array("i", self._primary)
+        clone._multi = {k: list(v) for k, v in self._multi.items()}
+        clone._replicas = {k: list(v) for k, v in self._replicas.items()}
+        clone._sizes = dict(self._sizes)
+        clone._dense_count = self._dense_count
+        clone.version = self.version
+        return clone

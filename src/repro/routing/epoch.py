@@ -29,14 +29,24 @@ it exceeds ``max_delta_log`` entries, but never past the oldest pinned
 epoch — so a pinned transaction's snapshot stays readable for its whole
 lifetime, and an *unpinned* ancient epoch raises :class:`EpochError`
 instead of silently returning wrong data.
+
+**Pinned-read fast path.**  A pinned epoch that falls more than
+``SNAPSHOT_DELTA_THRESHOLD`` transitions behind the live map stops
+walking the delta chain per read: it materialises (once, lazily) a
+merged *overlay* dict — key → replica tuple as of the pinned epoch, for
+every key touched by any later transition — and extends it by O(new
+deltas) per subsequent publish.  A read is then one dict probe plus a
+live-map fallback, independent of chain depth, which keeps long-pinned
+transactions within a small constant factor of live-route throughput.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from functools import cached_property
 from itertools import count
-from typing import Callable, Iterator, Optional, Union
+from typing import Any, Callable, Iterator, Optional, Union
 
 from ..errors import EpochError, RoutingError
 from ..types import PartitionId, TupleKey
@@ -44,6 +54,18 @@ from .partition_map import PartitionMap
 
 #: A tuple's replica list (primary first); ``None`` means "not mapped".
 Replicas = tuple[PartitionId, ...]
+
+#: Delta-chain depth past which a pinned epoch materialises its merged
+#: snapshot overlay instead of walking the chain on every read.  Shallow
+#: pins (a handful of publishes behind) stay on the walk — building an
+#: overlay for them would cost more than it saves.
+SNAPSHOT_DELTA_THRESHOLD = 4
+
+#: Sentinel distinguishing "key untouched since this epoch" from a real
+#: overlay value (which may legitimately be ``None`` = unmapped).
+#: Typed ``Any`` so resolution helpers can return it alongside replica
+#: tuples without a cast at every use site.
+_UNTOUCHED: Any = object()
 
 
 class MigrationState(enum.Enum):
@@ -92,9 +114,15 @@ class EpochTransition:
     epoch_id: int
     deltas: tuple[MapDelta, ...]
 
-    @property
+    @cached_property
     def prev(self) -> dict[TupleKey, Optional[Replicas]]:
-        """Key → replica tuple as of the *previous* epoch."""
+        """Key → replica tuple as of the *previous* epoch.
+
+        Cached: the transition is immutable and pinned-epoch reads probe
+        this dict on every resolution, so it is built exactly once.
+        (``cached_property`` writes to ``__dict__`` directly, which is
+        legal on a frozen dataclass.)
+        """
         return {d.key: d.before for d in self.deltas}
 
 
@@ -107,11 +135,18 @@ class MapEpoch:
     cost models can consume either interchangeably.
     """
 
-    __slots__ = ("_store", "epoch_id")
+    __slots__ = ("_store", "epoch_id", "_overlay", "_overlay_through")
 
     def __init__(self, store: "PartitionMapStore", epoch_id: int) -> None:
         self._store = store
         self.epoch_id = epoch_id
+        #: Merged snapshot overlay: key → replica tuple *as of this
+        #: epoch* for every key some later transition touched.  Built
+        #: lazily once the chain exceeds SNAPSHOT_DELTA_THRESHOLD, then
+        #: extended by O(new deltas) per publish.
+        self._overlay: Optional[dict[TupleKey, Optional[Replicas]]] = None
+        #: Store epoch id the overlay has absorbed transitions through.
+        self._overlay_through = epoch_id
 
     # ------------------------------------------------------------------
     # Resolution against the transition log
@@ -132,18 +167,65 @@ class MapEpoch:
         offset = first_needed - store._log[0].epoch_id
         return store._log[offset:]
 
-    def replicas_of(self, key: TupleKey) -> Replicas:
-        """Replica list of ``key`` as of this epoch (primary first)."""
-        for transition in self._transitions_since():
+    def _sync_overlay(self) -> dict[TupleKey, Optional[Replicas]]:
+        """Materialise / extend the merged overlay through the live epoch.
+
+        The overlay maps each touched key to its value as of *this*
+        epoch, i.e. the ``before`` of the earliest later transition that
+        touched it — so absorbing transitions oldest-first with
+        ``setdefault`` keeps the earliest ``before`` and extension by
+        later publishes never overwrites an entry.
+        """
+        overlay = self._overlay
+        if overlay is None:
+            overlay = self._overlay = {}
+            self._overlay_through = self.epoch_id
+        store = self._store
+        if self._overlay_through == store.epoch_id:
+            return overlay
+        first_needed = self._overlay_through + 1
+        log = store._log
+        if not log or first_needed < log[0].epoch_id:
+            raise EpochError(
+                f"epoch {self.epoch_id} has expired (delta log trimmed); "
+                f"pin epochs you intend to keep reading"
+            )
+        for transition in log[first_needed - log[0].epoch_id:]:
+            for delta in transition.deltas:
+                overlay.setdefault(delta.key, delta.before)
+        self._overlay_through = store.epoch_id
+        return overlay
+
+    def _resolve(self, key: TupleKey) -> Optional[Replicas]:
+        """``key``'s value as of this epoch, or ``_UNTOUCHED`` when no
+        later transition touched it (read the live map)."""
+        store = self._store
+        if self.epoch_id == store.epoch_id:
+            return _UNTOUCHED
+        overlay = self._overlay
+        if overlay is not None:
+            if self._overlay_through != store.epoch_id:
+                overlay = self._sync_overlay()
+            return overlay.get(key, _UNTOUCHED)
+        transitions = self._transitions_since()
+        if len(transitions) >= SNAPSHOT_DELTA_THRESHOLD:
+            return self._sync_overlay().get(key, _UNTOUCHED)
+        for transition in transitions:
             prev = transition.prev
             if key in prev:
-                value = prev[key]
-                if value is None:
-                    raise RoutingError(
-                        f"tuple {key} is not mapped to any partition"
-                    )
-                return value
-        return self._store.live_map.replicas_of(key)
+                return prev[key]
+        return _UNTOUCHED
+
+    def replicas_of(self, key: TupleKey) -> Replicas:
+        """Replica list of ``key`` as of this epoch (primary first)."""
+        value = self._resolve(key)
+        if value is _UNTOUCHED:
+            return self._store.live_map.replicas_of(key)
+        if value is None:
+            raise RoutingError(
+                f"tuple {key} is not mapped to any partition"
+            )
+        return value
 
     def primary_of(self, key: TupleKey) -> PartitionId:
         """The primary replica's partition as of this epoch."""
@@ -154,11 +236,10 @@ class MapEpoch:
         return len(self.replicas_of(key))
 
     def __contains__(self, key: TupleKey) -> bool:
-        for transition in self._transitions_since():
-            prev = transition.prev
-            if key in prev:
-                return prev[key] is not None
-        return key in self._store.live_map
+        value = self._resolve(key)
+        if value is _UNTOUCHED:
+            return key in self._store.live_map
+        return value is not None
 
     def keys(self) -> Iterator[TupleKey]:
         """Iterate the keys mapped as of this epoch."""

@@ -1,0 +1,253 @@
+"""Memory-lean per-partition tuple store for cluster-scale presets.
+
+:class:`~repro.storage.partition_store.PartitionStore` allocates one
+:class:`~repro.storage.record.Record` object per resident tuple.  At the
+paper's 5-node/500k-tuple scale that is fine; at the production tier
+(100–500 nodes × 1M–10M tuples) the per-record object graph dominates
+the coordinator's memory.  :class:`CompactPartitionStore` keeps the same
+behaviour behind the same interface while storing tuple state in flat
+parallel ``array`` columns (8-byte machine ints — the paper's tuples
+*are* 8-byte integers) indexed by a single key → slot dict:
+
+* no ``Record`` object per tuple — :meth:`get`/:meth:`peek` hand out a
+  tiny :class:`RecordView` *flyweight* that resolves by key on every
+  attribute access, so views stay correct across slot compaction and
+  writes through a view land in the columns;
+* deletes compact by swap-with-last, keeping the columns dense;
+* ``keys()`` iterates in insertion order (the index dict's order),
+  matching ``PartitionStore``'s dict semantics exactly.
+
+Behavioural equivalence with ``PartitionStore`` under random
+insert/delete/get/write/keys interleavings is asserted by the shared
+property suite in ``tests/storage/test_compact_store.py``.  The one
+deliberate restriction: payloads must fit a signed 64-bit int (the
+paper's 8-byte tuple), enforced by the ``array`` columns themselves.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterator, Optional
+
+from ..errors import StorageError
+from ..types import PartitionId, TupleKey
+from .record import DEFAULT_TUPLE_SIZE_BYTES, Record
+
+
+class RecordView:
+    """Flyweight view of one resident tuple in a compact store.
+
+    Resolves ``key`` → slot through the store's index on every access,
+    so a held view survives slot compaction (swap-with-last deletes of
+    *other* keys) and always reflects — and writes through to — the
+    store's current columns.  Accessing a view whose tuple was deleted
+    raises :class:`StorageError`, which would indicate a routing or
+    undo-ordering bug.
+    """
+
+    __slots__ = ("_store", "key")
+
+    def __init__(self, store: "CompactPartitionStore", key: TupleKey) -> None:
+        self._store = store
+        self.key = key
+
+    def _slot(self) -> int:
+        slot = self._store._index.get(self.key)
+        if slot is None:
+            raise StorageError(
+                f"tuple {self.key} no longer resident on partition "
+                f"{self._store.partition_id} (stale record view)"
+            )
+        return slot
+
+    @property
+    def value(self) -> int:
+        return self._store._values[self._slot()]
+
+    @value.setter
+    def value(self, value: int) -> None:
+        self._store._values[self._slot()] = value
+
+    @property
+    def version(self) -> int:
+        return self._store._versions[self._slot()]
+
+    @version.setter
+    def version(self, version: int) -> None:
+        self._store._versions[self._slot()] = version
+
+    @property
+    def size_bytes(self) -> int:
+        return self._store._sizes[self._slot()]
+
+    @size_bytes.setter
+    def size_bytes(self, size_bytes: int) -> None:
+        self._store._sizes[self._slot()] = size_bytes
+
+    def write(self, value: int) -> None:
+        """Overwrite the payload, bumping the version (Record.write)."""
+        slot = self._slot()
+        store = self._store
+        store._values[slot] = value
+        store._versions[slot] += 1
+
+    def copy(self) -> Record:
+        """Detached :class:`Record` snapshot (migration/replica copies)."""
+        slot = self._slot()
+        store = self._store
+        return Record(
+            key=self.key,
+            value=store._values[slot],
+            size_bytes=store._sizes[slot],
+            version=store._versions[slot],
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"RecordView(key={self.key}, value={self.value}, "
+            f"size_bytes={self.size_bytes}, version={self.version})"
+        )
+
+
+class CompactPartitionStore:
+    """Flat-column drop-in replacement for ``PartitionStore``.
+
+    Same interface, counters, and error behaviour; tuple state lives in
+    three parallel ``array('q')`` columns plus one key → slot dict
+    instead of a dict of per-tuple ``Record`` objects.
+    """
+
+    __slots__ = (
+        "partition_id",
+        "_index",
+        "_keys",
+        "_values",
+        "_versions",
+        "_sizes",
+        "inserts",
+        "deletes",
+    )
+
+    def __init__(self, partition_id: PartitionId) -> None:
+        self.partition_id = partition_id
+        self._index: dict[TupleKey, int] = {}
+        self._keys = array("q")
+        self._values = array("q")
+        self._versions = array("q")
+        self._sizes = array("q")
+        self.inserts = 0
+        self.deletes = 0
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, key: TupleKey) -> bool:
+        return key in self._index
+
+    def keys(self) -> Iterator[TupleKey]:
+        """Iterate over resident keys (insertion order)."""
+        return iter(self._index)
+
+    def get(self, key: TupleKey) -> RecordView:
+        """Fetch a live view of the resident record for ``key``.
+
+        Raises :class:`StorageError` if the tuple is not resident here —
+        that indicates a routing bug, never a user error.
+        """
+        if key not in self._index:
+            raise StorageError(
+                f"tuple {key} not resident on partition {self.partition_id}"
+            )
+        return RecordView(self, key)
+
+    def peek(self, key: TupleKey) -> Optional[RecordView]:
+        """Fetch a live view if resident, else ``None``."""
+        if key not in self._index:
+            return None
+        return RecordView(self, key)
+
+    def _append(self, record: "Record | RecordView") -> None:
+        self._index[record.key] = len(self._keys)
+        self._keys.append(record.key)
+        self._values.append(record.value)
+        self._versions.append(record.version)
+        self._sizes.append(record.size_bytes)
+
+    def insert(self, record: "Record | RecordView") -> None:
+        """Insert a replica; duplicates are a consistency violation."""
+        if record.key in self._index:
+            raise StorageError(
+                f"tuple {record.key} already resident on partition "
+                f"{self.partition_id}"
+            )
+        self._append(record)
+        self.inserts += 1
+
+    def upsert(self, record: "Record | RecordView") -> None:
+        """Insert or overwrite a replica (used when replaying migrations)."""
+        slot = self._index.get(record.key)
+        if slot is None:
+            self._append(record)
+            self.inserts += 1
+            return
+        self._values[slot] = record.value
+        self._versions[slot] = record.version
+        self._sizes[slot] = record.size_bytes
+
+    def delete(self, key: TupleKey) -> Record:
+        """Remove and return (a detached copy of) the replica of ``key``."""
+        slot = self._index.pop(key, None)
+        if slot is None:
+            raise StorageError(
+                f"cannot delete tuple {key}: not resident on partition "
+                f"{self.partition_id}"
+            )
+        record = Record(
+            key=key,
+            value=self._values[slot],
+            size_bytes=self._sizes[slot],
+            version=self._versions[slot],
+        )
+        last = len(self._keys) - 1
+        if slot != last:
+            # Swap-with-last keeps the columns dense; held RecordViews
+            # are unaffected because they resolve by key, not slot.
+            moved_key = self._keys[last]
+            self._keys[slot] = moved_key
+            self._values[slot] = self._values[last]
+            self._versions[slot] = self._versions[last]
+            self._sizes[slot] = self._sizes[last]
+            self._index[moved_key] = slot
+        del self._keys[last]
+        del self._values[last]
+        del self._versions[last]
+        del self._sizes[last]
+        self.deletes += 1
+        return record
+
+    def read(self, key: TupleKey) -> int:
+        """Read the payload of ``key``."""
+        slot = self._index.get(key)
+        if slot is None:
+            raise StorageError(
+                f"tuple {key} not resident on partition {self.partition_id}"
+            )
+        return self._values[slot]
+
+    def write(self, key: TupleKey, value: int) -> None:
+        """Write the payload of ``key`` (bumps the version)."""
+        slot = self._index.get(key)
+        if slot is None:
+            raise StorageError(
+                f"tuple {key} not resident on partition {self.partition_id}"
+            )
+        self._values[slot] = value
+        self._versions[slot] += 1
+
+
+#: Default tuple size, re-exported for symmetry with the record module.
+__all__ = [
+    "CompactPartitionStore",
+    "RecordView",
+    "DEFAULT_TUPLE_SIZE_BYTES",
+]

@@ -15,6 +15,37 @@ from ..types import TupleKey
 #: The paper's tuple size, used to charge network transfer during migration.
 DEFAULT_TUPLE_SIZE_BYTES = 8
 
+#: A record's payload as a plain immutable triple (value, version,
+#: size_bytes) — the per-tuple content WAL checkpoints snapshot and
+#: recovery replays.
+Payload = tuple[int, int, int]
+
+#: Canonical-payload table for :func:`intern_payload`, bounded so a
+#: pathological value stream cannot grow it without limit.
+_PAYLOAD_INTERN: dict[Payload, Payload] = {}
+_PAYLOAD_INTERN_LIMIT = 1 << 16
+
+
+def intern_payload(value: int, version: int, size_bytes: int) -> Payload:
+    """Return a canonical ``(value, version, size_bytes)`` triple.
+
+    WAL checkpoints snapshot one payload triple per resident tuple and
+    crash/restart cycles re-create the same triples again on every
+    checkpoint and replay; interning makes repeats share one object
+    instead of allocating a fresh tuple each time.  The table is
+    bounded: once it holds ``_PAYLOAD_INTERN_LIMIT`` distinct payloads
+    it is cleared and rebuilt, so the cache can never outgrow the data
+    it deduplicates.
+    """
+    payload = (value, version, size_bytes)
+    cached = _PAYLOAD_INTERN.get(payload)
+    if cached is not None:
+        return cached
+    if len(_PAYLOAD_INTERN) >= _PAYLOAD_INTERN_LIMIT:
+        _PAYLOAD_INTERN.clear()
+    _PAYLOAD_INTERN[payload] = payload
+    return payload
+
 
 @dataclass(slots=True)
 class Record:

@@ -22,12 +22,16 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 from itertools import count
-from typing import Any, Iterator, Optional
+from typing import Any, Callable, Iterator, Optional, Union
 
 from ..errors import StorageError
 from ..types import TupleKey, TxnId
+from .compact_store import CompactPartitionStore
 from .partition_store import PartitionStore
-from .record import Record
+from .record import Record, intern_payload
+
+#: Any per-partition tuple store the WAL can snapshot and rebuild.
+TupleStore = Union[PartitionStore, CompactPartitionStore]
 
 
 class WalRecordType(enum.Enum):
@@ -144,13 +148,18 @@ class WriteAheadLog:
         self._open_txns.discard(txn_id)
         return self._append(WalRecordType.ABORT, txn_id)
 
-    def log_checkpoint(self, store: PartitionStore) -> WalRecord:
+    def log_checkpoint(self, store: TupleStore) -> WalRecord:
         """Snapshot the store so recovery can skip older records.
 
         Only legal while no transaction is open (a *sharp* checkpoint):
         the executor applies writes to the store in place before commit,
         so a snapshot taken mid-transaction would embed uncommitted
         effects that recovery could then never roll back.
+
+        Payload triples are interned: repeated checkpoints across
+        crash/restart cycles (and tuples sharing a payload) reference
+        one canonical ``(value, version, size_bytes)`` object instead of
+        re-allocating identical tuples per snapshot.
         """
         if self._open_txns:
             raise StorageError(
@@ -158,14 +167,12 @@ class WriteAheadLog:
                 f"{sorted(self._open_txns)}: the store snapshot would "
                 f"capture their uncommitted writes"
             )
-        snapshot = {
-            key: (
-                store.get(key).value,
-                store.get(key).version,
-                store.get(key).size_bytes,
+        snapshot = {}
+        for key in store.keys():
+            record = store.get(key)
+            snapshot[key] = intern_payload(
+                record.value, record.version, record.size_bytes
             )
-            for key in store.keys()
-        }
         return self._append(WalRecordType.CHECKPOINT, payload=snapshot)
 
     def truncate_before_checkpoint(self) -> int:
@@ -184,7 +191,10 @@ class WriteAheadLog:
             )
 
 
-def recover(log: WriteAheadLog) -> PartitionStore:
+def recover(
+    log: WriteAheadLog,
+    store_factory: Callable[[int], TupleStore] = PartitionStore,
+) -> TupleStore:
     """Rebuild the partition store from the log (redo-only recovery).
 
     1. Scan for the latest CHECKPOINT and start from its snapshot.
@@ -192,10 +202,14 @@ def recover(log: WriteAheadLog) -> PartitionStore:
     3. Second pass: apply WRITE/INSERT/DELETE records of committed
        transactions in LSN order; everything else is discarded (an
        uncommitted transaction's effects never become visible).
+
+    ``store_factory`` selects the store implementation the node runs
+    (standard ``PartitionStore`` or the memory-lean compact store), so a
+    recovering node rejoins with the same storage tier it crashed with.
     """
     records = list(log.records())
     start = 0
-    store = PartitionStore(log.partition_id)
+    store = store_factory(log.partition_id)
     for index in range(len(records) - 1, -1, -1):
         if records[index].type is WalRecordType.CHECKPOINT:
             start = index + 1

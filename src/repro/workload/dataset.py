@@ -13,14 +13,14 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Iterable, Optional, Sequence
 
 from ..cluster.cluster import Cluster
 from ..errors import ConfigError
 from ..routing.partition_map import PartitionMap
 from ..storage.record import Record
 from ..types import PartitionId
-from .profile import WorkloadProfile
+from .profile import TransactionType, WorkloadProfile
 
 
 @dataclass(frozen=True)
@@ -55,22 +55,50 @@ def choose_distributed_types(
     return set(rng.sample(type_ids, count))
 
 
+def choose_distributed_type_ids(
+    type_count: int, alpha: float, rng: random.Random
+) -> set[int]:
+    """:func:`choose_distributed_types` for the canonical id space.
+
+    Generated populations number their types ``0..n-1``
+    (:func:`~repro.workload.generator.iter_profile_types`), so the
+    streaming assembly path can sample the distributed set from the
+    count alone — ``random.sample`` draws identically from ``range(n)``
+    and from an equal list of ids, so this matches the profile-based
+    selection bit for bit.
+    """
+    count = round(alpha * type_count)
+    if count >= type_count:
+        return set(range(type_count))
+    return set(rng.sample(range(type_count), count))
+
+
 def initial_placement(
-    profile: WorkloadProfile,
+    profile: Iterable[TransactionType],
     partitions: Sequence[PartitionId],
     distributed_type_ids: set[int],
+    pmap: Optional[PartitionMap] = None,
 ) -> PartitionMap:
     """Place every profiled key: distributed types spread, others collocated.
 
     * A distributed type's keys go round-robin over all partitions,
       starting at ``type_id mod P`` (so load stays balanced).
     * A collocated type's keys all land on partition ``type_id mod P``.
+
+    ``profile`` may be a :class:`WorkloadProfile` or any iterable of
+    types (e.g. the streaming generator the cluster-scale presets use).
+    ``pmap`` selects the map implementation to fill — default standard
+    :class:`PartitionMap`; the scale tier passes an empty
+    :class:`~repro.routing.dense_map.DensePartitionMap`.
     """
     if not partitions:
         raise ConfigError("need at least one partition")
-    pmap = PartitionMap()
+    if pmap is None:
+        pmap = PartitionMap()
+    elif len(pmap):
+        raise ConfigError("initial placement requires an empty partition map")
     p = len(partitions)
-    for ttype in profile.types:
+    for ttype in profile:
         if ttype.type_id in distributed_type_ids and p > 1:
             for offset, key in enumerate(ttype.keys):
                 pmap.assign(key, partitions[(ttype.type_id + offset) % p])

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Iterator
 
 from ..errors import ConfigError
 from ..sim.random import weighted_choice
@@ -66,6 +67,23 @@ class WorkloadConfig:
             raise ConfigError("zipf skew cannot be negative")
 
 
+def iter_profile_types(config: WorkloadConfig) -> Iterator[TransactionType]:
+    """Yield the transaction population one type at a time.
+
+    Streaming counterpart of :func:`build_profile` — same types in the
+    same order, without materialising the whole population.  The
+    cluster-scale presets place hundreds of thousands of types into the
+    partition map through this generator so peak memory tracks the map,
+    not a transient type list.
+    """
+    q = config.queries_per_txn
+    uniform = config.distribution == "uniform"
+    for i in range(config.distinct_types):
+        keys = tuple(range(i * q, (i + 1) * q))
+        frequency = 1.0 if uniform else 1.0 / ((i + 1) ** config.zipf_s)
+        yield TransactionType(type_id=i, keys=keys, frequency=frequency)
+
+
 def build_profile(config: WorkloadConfig) -> WorkloadProfile:
     """Construct the transaction population for ``config``.
 
@@ -73,18 +91,9 @@ def build_profile(config: WorkloadConfig) -> WorkloadProfile:
     has rank ``i`` (type 0 is the hottest).  The construction is fully
     deterministic.
     """
-    q = config.queries_per_txn
-    types = []
-    for i in range(config.distinct_types):
-        keys = tuple(range(i * q, (i + 1) * q))
-        if config.distribution == "uniform":
-            frequency = 1.0
-        else:
-            frequency = 1.0 / ((i + 1) ** config.zipf_s)
-        types.append(
-            TransactionType(type_id=i, keys=keys, frequency=frequency)
-        )
-    return WorkloadProfile(table=config.table, types=types)
+    return WorkloadProfile(
+        table=config.table, types=list(iter_profile_types(config))
+    )
 
 
 class WorkloadSampler:

@@ -54,6 +54,11 @@ class WorkloadProfile:
         self._by_id: dict[int, TransactionType] = {
             t.type_id: t for t in self.types
         }
+        # Lazily-built derived views.  The profile is immutable after
+        # construction (``_by_id`` is already built once here), so both
+        # caches stay valid for the object's lifetime.
+        self._key_index: Optional[dict[TupleKey, list[TransactionType]]] = None
+        self._positions: Optional[dict[int, int]] = None
 
     def __len__(self) -> int:
         return len(self.types)
@@ -88,16 +93,41 @@ class WorkloadProfile:
         return keys
 
     def types_accessing(self, key: TupleKey) -> list[TransactionType]:
-        """All types whose key set contains ``key``."""
-        return [t for t in self.types if key in t.keys]
+        """All types whose key set contains ``key`` (profile order)."""
+        return list(self.key_index().get(key, ()))
 
     def key_index(self) -> dict[TupleKey, list[TransactionType]]:
-        """Inverted index key → types, built once for repeated lookups."""
-        index: dict[TupleKey, list[TransactionType]] = {}
-        for ttype in self.types:
-            for key in ttype.keys:
-                index.setdefault(key, []).append(ttype)
+        """Inverted index key → types (profile order), built lazily once.
+
+        The returned dict is shared across calls — treat it as
+        read-only.
+        """
+        index = self._key_index
+        if index is None:
+            index = {}
+            for ttype in self.types:
+                for key in ttype.keys:
+                    index.setdefault(key, []).append(ttype)
+            self._key_index = index
         return index
+
+    def position(self, type_id: int) -> int:
+        """A type's position in profile iteration order.
+
+        Lets callers that discover candidate types out of order (e.g.
+        through :meth:`key_index`) restore profile order — required
+        wherever float accumulation must match a full profile scan
+        bit for bit.
+        """
+        positions = self._positions
+        if positions is None:
+            positions = self._positions = {
+                t.type_id: i for i, t in enumerate(self.types)
+            }
+        try:
+            return positions[type_id]
+        except KeyError:
+            raise ConfigError(f"unknown transaction type {type_id}") from None
 
     def hottest(self, n: Optional[int] = None) -> list[TransactionType]:
         """Types sorted by descending frequency (ties by id for determinism)."""

@@ -1,0 +1,178 @@
+"""Incremental window aggregates and the delta-log-driven cost cache.
+
+The monitor's merged per-type statistics and the ``TypeCostCache`` are
+pure optimisations: both must produce exactly what a from-scratch
+computation produces — the merged stats what a full oldest-to-newest
+window rescan yields, and ``mean_cost`` the bit-identical result of
+``CostModel.expected_cost_per_txn`` — across interval rolls, window
+evictions, epoch publishes, and delta-log trims.
+"""
+
+import random
+
+import pytest
+
+from repro.core import WorkloadMonitor
+from repro.core.monitor import TypeCostCache
+from repro.partitioning import CostModel
+from repro.routing import PartitionMap, PartitionMapStore
+from repro.workload.profile import TransactionType
+
+from ..txn.conftest import build_stack
+from .test_monitor import make_txn
+
+
+def _rescan(monitor):
+    """Reference: full oldest-to-newest merge over the raw window."""
+    merged = {}
+    arrivals = 0
+    for interval in monitor._window:
+        for type_id, stats in interval.items():
+            entry = merged.get(type_id)
+            if entry is None:
+                merged[type_id] = [stats.keys, stats.arrivals]
+            else:
+                entry[1] += stats.arrivals
+            arrivals += stats.arrivals
+    return merged, arrivals
+
+
+def test_merged_stats_match_full_rescan_over_random_history():
+    """Drive 30 intervals of random observations through a 4-interval
+    window; the incremental aggregates must equal a full rescan after
+    every roll (including rolls that evict and re-adopt key sets)."""
+    stack = build_stack()
+    monitor = WorkloadMonitor(stack.env, interval_s=10.0, window_intervals=4)
+    rng = random.Random(7)
+    now = 0
+    for _ in range(30):
+        for _ in range(rng.randrange(6)):
+            type_id = rng.randrange(5)
+            keys = tuple(rng.sample(range(8), rng.randrange(1, 4)))
+            monitor.observe(make_txn(stack, type_id, keys))
+        now += 10
+        stack.env.run(until=now)
+        expected_merged, expected_arrivals = _rescan(monitor)
+        assert monitor._window_arrivals == expected_arrivals
+        assert {
+            tid: [s.keys, s.arrivals] for tid, s in monitor._merged.items()
+        } == expected_merged
+        profile = monitor.observed_profile()
+        assert [t.type_id for t in profile.types] == sorted(expected_merged)
+        for ttype in profile.types:
+            assert ttype.keys == expected_merged[ttype.type_id][0]
+            assert ttype.frequency == float(
+                expected_merged[ttype.type_id][1]
+            )
+        assert monitor.observed_rate_txn_per_s() == pytest.approx(
+            expected_arrivals / (len(monitor._window) * 10.0)
+        )
+
+
+def test_eviction_readopts_keys_from_oldest_surviving_interval():
+    """When the interval that defined a type's key set leaves the
+    window, the merged keys must switch to the now-oldest interval's —
+    exactly what a rescan would report."""
+    stack = build_stack()
+    monitor = WorkloadMonitor(stack.env, interval_s=10.0, window_intervals=2)
+    monitor.observe(make_txn(stack, 1, (0, 1)))
+    stack.env.run(until=10)
+    monitor.observe(make_txn(stack, 1, (5, 6)))
+    stack.env.run(until=20)
+    assert monitor.observed_profile().type(1).keys == (0, 1)
+    stack.env.run(until=30)  # evicts the (0, 1) interval
+    assert monitor.observed_profile().type(1).keys == (5, 6)
+    assert monitor.observed_profile().type(1).frequency == 1.0
+
+
+def _store(keys=16, partitions=4, **kwargs):
+    pmap = PartitionMap()
+    for key in range(keys):
+        pmap.assign(key, key % partitions)
+    return PartitionMapStore(pmap, **kwargs)
+
+
+def _types(rng, count=12, key_space=16):
+    return [
+        TransactionType(
+            type_id=i,
+            keys=tuple(sorted(rng.sample(range(key_space), 3))),
+            frequency=float(rng.randrange(1, 9)),
+        )
+        for i in range(count)
+    ]
+
+
+class TestTypeCostCache:
+    def test_bit_identical_across_publishes(self):
+        """mean_cost == expected_cost_per_txn (exact float equality)
+        before and after every publish in a random move sequence."""
+        rng = random.Random(11)
+        store = _store()
+        model = CostModel()
+        cache = TypeCostCache(model, store)
+        types = _types(rng)
+        for _ in range(20):
+            assert cache.mean_cost(types) == model.expected_cost_per_txn(
+                types, store.current_epoch
+            )
+            stage = store.begin_stage()
+            key = rng.randrange(16)
+            src = store.primary_of(key)
+            stage.move(key, src, (src + 1) % 4)
+            store.publish(stage)
+        assert cache.hits > 0
+
+    def test_invalidates_only_touched_types(self):
+        store = _store()
+        cache = TypeCostCache(CostModel(), store)
+        types = [
+            TransactionType(type_id=1, keys=(0, 1), frequency=1.0),
+            TransactionType(type_id=2, keys=(8, 9), frequency=1.0),
+        ]
+        cache.mean_cost(types)
+        assert cache.misses == 2
+        stage = store.begin_stage()
+        stage.move(0, store.primary_of(0), 3)
+        store.publish(stage)
+        cache.mean_cost(types)
+        # Type 1's key moved (re-costed); type 2 untouched (cache hit).
+        assert cache.misses == 3
+        assert cache.hits == 1
+
+    def test_changed_key_set_forces_recost(self):
+        store = _store()
+        cache = TypeCostCache(CostModel(), store)
+        cache.mean_cost([TransactionType(1, (0, 1), 1.0)])
+        value = cache.mean_cost([TransactionType(1, (0, 5), 1.0)])
+        assert cache.misses == 2
+        assert value == CostModel().expected_cost_per_txn(
+            [TransactionType(1, (0, 5), 1.0)], store.current_epoch
+        )
+
+    def test_log_trim_drops_whole_cache_but_stays_exact(self):
+        """Publishing past the retained log forces a full drop; results
+        must still match the uncached model exactly."""
+        rng = random.Random(3)
+        store = _store(max_delta_log=2)
+        model = CostModel()
+        cache = TypeCostCache(model, store)
+        types = _types(rng)
+        cache.mean_cost(types)
+        for round_index in range(4):  # 4 publishes > max_delta_log=2
+            stage = store.begin_stage()
+            key = round_index
+            src = store.primary_of(key)
+            stage.move(key, src, (src + 1) % 4)
+            store.publish(stage)
+        assert len(store.delta_log()) == 2
+        misses_before = cache.misses
+        assert cache.mean_cost(types) == model.expected_cost_per_txn(
+            types, store.current_epoch
+        )
+        # The watermark predates the retained log: everything re-costed.
+        assert cache.misses == misses_before + len(types)
+
+    def test_empty_types_is_zero(self):
+        store = _store()
+        assert TypeCostCache(CostModel(), store).mean_cost([]) == 0.0

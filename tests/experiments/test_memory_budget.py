@@ -1,0 +1,105 @@
+"""Peak-memory budgets for the cluster-scale storage stack.
+
+Two regression gates:
+
+* a **process-level budget** for the 1M-tuple ``production_scale``
+  dataset build, measured by ``ru_maxrss`` in a fresh interpreter so
+  the number is the stack's, not the test runner's.  The compact stack
+  builds this in ~170 MB; the standard store + dict-backed map needs
+  roughly twice that, so the 250 MB ceiling catches any slide back;
+* a **tracemalloc stack-ratio** check at 100k tuples asserting the
+  lean stack (compact store + dense map) stays under 0.6x the standard
+  stack's heap bytes — the same invariant ``BENCH_scale.json`` records
+  at full scale, kept in tier-1 at a size that runs in seconds.
+"""
+
+import subprocess
+import sys
+import tracemalloc
+from pathlib import Path
+
+from repro.routing import DensePartitionMap, PartitionMap
+from repro.storage import CompactPartitionStore, PartitionStore, Record
+
+#: KB ceiling for building the 1M-tuple preset in a fresh process.
+PEAK_RSS_BUDGET_KB = 250_000
+
+_BUILD_SNIPPET = """
+import resource
+from repro.experiments import (
+    make_partition_map, production_scale, resolve_store_factory,
+)
+from repro.sim.random import RandomStreams
+from repro.storage import Record
+from repro.workload.dataset import (
+    choose_distributed_type_ids, initial_placement, place_unprofiled_keys,
+)
+from repro.workload.generator import iter_profile_types
+
+config = production_scale(node_count=100, tuple_count=1_000_000)
+streams = RandomStreams(config.seed)
+partitions = list(range(config.cluster.node_count))
+distributed = choose_distributed_type_ids(
+    config.workload.distinct_types, config.alpha, streams.stream("placement")
+)
+pmap = initial_placement(
+    iter_profile_types(config.workload), partitions, distributed,
+    pmap=make_partition_map(config),
+)
+place_unprofiled_keys(pmap, config.workload.tuple_count, partitions)
+factory = resolve_store_factory(config)
+stores = [factory(p) for p in partitions]
+rng = streams.stream("values")
+for key in pmap.keys():
+    for pid in pmap.replicas_of(key):
+        stores[pid].insert(Record(key=key, value=rng.randrange(1_000_000)))
+assert sum(len(s) for s in stores) == config.workload.tuple_count
+print(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+"""
+
+
+def test_million_tuple_build_stays_under_rss_budget():
+    src = Path(__file__).resolve().parents[2] / "src"
+    result = subprocess.run(
+        [sys.executable, "-c", _BUILD_SNIPPET],
+        env={"PYTHONPATH": str(src), "PATH": "/usr/bin:/bin"},
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    peak_kb = int(result.stdout.strip().splitlines()[-1])
+    assert peak_kb < PEAK_RSS_BUDGET_KB, (
+        f"1M-tuple production_scale build peaked at {peak_kb} KB "
+        f"(budget {PEAK_RSS_BUDGET_KB} KB); the memory-lean stack "
+        "regressed"
+    )
+
+
+def _traced_stack_bytes(store_factory, map_factory, n):
+    tracemalloc.start()
+    try:
+        before, _ = tracemalloc.get_traced_memory()
+        pmap = map_factory()
+        store = store_factory(0)
+        for key in range(n):
+            pmap.assign(key, key % 8)
+            store.insert(Record(key=key, value=key))
+        after, _ = tracemalloc.get_traced_memory()
+        assert len(store) == len(pmap) == n
+        return after - before
+    finally:
+        tracemalloc.stop()
+
+
+def test_lean_stack_under_sixty_percent_of_standard():
+    n = 100_000
+    lean = _traced_stack_bytes(
+        CompactPartitionStore, lambda: DensePartitionMap(n), n
+    )
+    standard = _traced_stack_bytes(PartitionStore, PartitionMap, n)
+    ratio = lean / standard
+    assert ratio < 0.6, (
+        f"lean stack is {ratio:.2f}x the standard stack "
+        f"({lean} vs {standard} bytes for {n} tuples)"
+    )

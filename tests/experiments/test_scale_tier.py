@@ -1,0 +1,163 @@
+"""The cluster-scale tier: preset, storage resolution, streaming assembly.
+
+The ``production_scale`` preset must keep the paper's ratios while the
+tier machinery (``storage_tier`` → store factory + partition map) and
+the streaming dataset path must be exact drop-ins: the streamed
+placement is compared key for key against the materialised-profile
+placement the figure presets use.
+"""
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import (
+    COMPACT_STORE_THRESHOLD,
+    bench_scale,
+    make_partition_map,
+    medium_scale,
+    production_scale,
+    resolve_store_factory,
+    uses_compact_storage,
+)
+from repro.experiments.config import (
+    RuntimeConfig,
+    config_from_dict,
+    config_to_dict,
+)
+from repro.routing import DensePartitionMap, PartitionMap
+from repro.storage import CompactPartitionStore, PartitionStore
+from repro.workload.dataset import (
+    choose_distributed_type_ids,
+    choose_distributed_types,
+    initial_placement,
+    place_unprofiled_keys,
+)
+from repro.workload.generator import (
+    PAPER_TUPLE_COUNT,
+    PAPER_UNIFORM_TYPES,
+    PAPER_ZIPF_TYPES,
+    build_profile,
+    iter_profile_types,
+)
+
+
+class TestProductionPreset:
+    def test_keeps_paper_type_ratios(self):
+        uniform = production_scale(
+            distribution="uniform", tuple_count=1_000_000
+        )
+        zipf = production_scale(distribution="zipf", tuple_count=1_000_000)
+        assert uniform.workload.distinct_types == (
+            1_000_000 * PAPER_UNIFORM_TYPES // PAPER_TUPLE_COUNT
+        )
+        assert zipf.workload.distinct_types == (
+            1_000_000 * PAPER_ZIPF_TYPES // PAPER_TUPLE_COUNT
+        )
+
+    def test_scales_admission_with_cluster(self):
+        assert production_scale(node_count=100).runtime.max_concurrent == 2_000
+        assert production_scale(node_count=500).runtime.max_concurrent == 10_000
+        assert production_scale(node_count=500).cluster.node_count == 500
+
+    def test_validation(self):
+        with pytest.raises(ConfigError, match="at least one node"):
+            production_scale(node_count=0)
+        with pytest.raises(ConfigError, match="500k tuples"):
+            production_scale(tuple_count=100_000)
+
+    def test_round_trips_through_dict(self):
+        config = production_scale(node_count=250, tuple_count=1_500_000)
+        assert config.runtime.storage_tier == "auto"
+        rebuilt = config_from_dict(config_to_dict(config))
+        assert rebuilt == config
+        assert rebuilt.runtime.storage_tier == "auto"
+
+
+class TestStorageTierResolution:
+    def test_storage_tier_validated(self):
+        with pytest.raises(ConfigError, match="storage_tier"):
+            RuntimeConfig(storage_tier="bogus")
+
+    def _with_tier(self, config, tier):
+        return replace(config, runtime=replace(config.runtime, storage_tier=tier))
+
+    def test_auto_follows_tuple_count(self):
+        assert uses_compact_storage(production_scale())
+        assert production_scale().workload.tuple_count >= COMPACT_STORE_THRESHOLD
+        assert not uses_compact_storage(bench_scale())
+        assert not uses_compact_storage(medium_scale())
+
+    def test_explicit_tiers_override_auto(self):
+        big_standard = self._with_tier(production_scale(), "standard")
+        small_compact = self._with_tier(bench_scale(), "compact")
+        assert not uses_compact_storage(big_standard)
+        assert uses_compact_storage(small_compact)
+
+    def test_store_factory_and_map_follow_tier(self):
+        compact = production_scale()
+        standard = bench_scale()
+        assert resolve_store_factory(compact) is CompactPartitionStore
+        assert resolve_store_factory(standard) is PartitionStore
+        dense = make_partition_map(compact)
+        assert isinstance(dense, DensePartitionMap)
+        assert dense.capacity == compact.workload.tuple_count
+        plain = make_partition_map(standard)
+        assert type(plain) is PartitionMap
+
+
+class TestStreamingAssembly:
+    """The streaming path must equal the materialised path bit for bit."""
+
+    CONFIG = bench_scale(alpha=0.6).workload
+    PARTITIONS = list(range(5))
+
+    def test_streamed_types_match_built_profile(self):
+        streamed = list(iter_profile_types(self.CONFIG))
+        assert streamed == build_profile(self.CONFIG).types
+
+    def test_distributed_id_selection_matches_profile_selection(self):
+        profile = build_profile(self.CONFIG)
+        from_profile = choose_distributed_types(
+            profile, 0.6, random.Random(42)
+        )
+        from_count = choose_distributed_type_ids(
+            len(profile.types), 0.6, random.Random(42)
+        )
+        assert from_count == from_profile
+        assert choose_distributed_type_ids(
+            10, 1.0, random.Random(0)
+        ) == set(range(10))
+
+    def test_streamed_placement_matches_profile_placement(self):
+        profile = build_profile(self.CONFIG)
+        distributed = choose_distributed_types(profile, 0.6, random.Random(1))
+        reference = initial_placement(profile, self.PARTITIONS, distributed)
+        place_unprofiled_keys(
+            reference, self.CONFIG.tuple_count, self.PARTITIONS
+        )
+        streamed = initial_placement(
+            iter_profile_types(self.CONFIG),
+            self.PARTITIONS,
+            distributed,
+            pmap=DensePartitionMap(self.CONFIG.tuple_count),
+        )
+        place_unprofiled_keys(
+            streamed, self.CONFIG.tuple_count, self.PARTITIONS
+        )
+        assert len(streamed) == len(reference) == self.CONFIG.tuple_count
+        for key in range(self.CONFIG.tuple_count):
+            assert streamed.replicas_of(key) == reference.replicas_of(key)
+
+    def test_initial_placement_requires_empty_map(self):
+        used = DensePartitionMap(16)
+        used.assign(0, 0)
+        with pytest.raises(ConfigError, match="empty partition map"):
+            initial_placement(
+                iter_profile_types(self.CONFIG),
+                self.PARTITIONS,
+                set(),
+                pmap=used,
+            )

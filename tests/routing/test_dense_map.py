@@ -1,0 +1,177 @@
+"""DensePartitionMap: behavioural equivalence with PartitionMap.
+
+The dense map is a drop-in replacement selected by the scale tier, so it
+must match ``PartitionMap`` through the whole public interface — same
+results, same error messages, same check order — for in-range integer
+keys, out-of-range keys, and every spill/collapse transition between
+the flat single-replica column and the multi-replica overflow dict.
+Only ``keys()`` ordering is allowed to differ (dense ascending instead
+of insertion order), which the harness normalises by sorting.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RoutingError
+from repro.routing import DensePartitionMap, PartitionMap
+
+CAPACITY = 8
+#: In-range dense keys, out-of-range ints, and negatives all in one pool.
+KEYS = st.integers(min_value=-2, max_value=CAPACITY + 3)
+PIDS = st.integers(min_value=0, max_value=3)
+
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("assign"), KEYS, PIDS, PIDS),
+        st.tuples(st.just("add_replica"), KEYS, PIDS, PIDS),
+        st.tuples(st.just("remove_replica"), KEYS, PIDS, PIDS),
+        st.tuples(st.just("move"), KEYS, PIDS, PIDS),
+        st.tuples(st.just("set_replicas"), KEYS, PIDS, PIDS),
+        st.tuples(st.just("unmap"), KEYS, PIDS, PIDS),
+        st.tuples(st.just("lookup"), KEYS, PIDS, PIDS),
+    ),
+    max_size=80,
+)
+
+
+def _apply(pmap, op, key, pid, pid2):
+    """Run one operation; returns (result, error message or None)."""
+    try:
+        if op == "assign":
+            pmap.assign(key, pid)
+            return None, None
+        if op == "add_replica":
+            pmap.add_replica(key, pid)
+            return None, None
+        if op == "remove_replica":
+            pmap.remove_replica(key, pid)
+            return None, None
+        if op == "move":
+            pmap.move(key, pid, pid2)
+            return None, None
+        if op == "set_replicas":
+            replicas = [pid] if pid == pid2 else [pid, pid2]
+            pmap.set_replicas(key, replicas)
+            return None, None
+        if op == "unmap":
+            pmap.set_replicas(key, None)
+            return None, None
+        if op == "lookup":
+            if key not in pmap:
+                return (False, len(pmap)), None
+            return (
+                pmap.replicas_of(key),
+                pmap.primary_of(key),
+                pmap.replica_count(key),
+                len(pmap),
+            ), None
+        raise AssertionError(op)
+    except RoutingError as exc:
+        return None, str(exc)
+
+
+@settings(max_examples=250, deadline=None)
+@given(OPS)
+def test_equivalent_to_partition_map(ops):
+    """Same results, errors, sizes, and contents for any interleaving."""
+    standard = PartitionMap()
+    dense = DensePartitionMap(CAPACITY)
+    for op, key, pid, pid2 in ops:
+        expected = _apply(standard, op, key, pid, pid2)
+        actual = _apply(dense, op, key, pid, pid2)
+        assert actual == expected, (op, key, pid, pid2)
+        assert dense.partition_sizes() == standard.partition_sizes()
+        assert dense.version == standard.version
+    assert sorted(dense.keys()) == sorted(standard.keys())
+    for key in standard.keys():
+        assert dense.replicas_of(key) == standard.replicas_of(key)
+    # Copies are equivalent too — and detached from their originals.
+    dense_copy, standard_copy = dense.copy(), standard.copy()
+    assert isinstance(dense_copy, DensePartitionMap)
+    assert sorted(dense_copy.keys()) == sorted(standard_copy.keys())
+    assert dense_copy.partition_sizes() == standard_copy.partition_sizes()
+    assert dense_copy.version == standard.version
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(RoutingError, match="capacity"):
+        DensePartitionMap(0)
+
+
+def test_negative_partition_id_rejected():
+    """Negative pids would collide with the array sentinels, so every
+    mutation path rejects them up front."""
+    pmap = DensePartitionMap(CAPACITY)
+    with pytest.raises(RoutingError, match="negative"):
+        pmap.assign(1, -1)
+    pmap.assign(1, 0)
+    with pytest.raises(RoutingError, match="negative"):
+        pmap.add_replica(1, -2)
+    with pytest.raises(RoutingError, match="negative"):
+        pmap.move(1, 0, -1)
+    with pytest.raises(RoutingError, match="negative"):
+        pmap.set_replicas(2, [-3])
+
+
+def test_spill_and_collapse():
+    """Adding a second replica spills a key to the overflow dict;
+    dropping back to one collapses it into the flat column again."""
+    pmap = DensePartitionMap(CAPACITY)
+    pmap.assign(5, 0)
+    assert 5 not in pmap._multi
+    pmap.add_replica(5, 2)
+    assert pmap._multi[5] == [0, 2]
+    assert pmap.replicas_of(5) == (0, 2)
+    pmap.remove_replica(5, 0)
+    assert 5 not in pmap._multi
+    assert pmap.replicas_of(5) == (2,)
+    assert pmap.primary_of(5) == 2
+    assert len(pmap) == 1
+
+
+def test_out_of_range_keys_fall_back():
+    """Keys outside [0, capacity) — including non-dense negatives and
+    overshoots — take the dict path with identical behaviour."""
+    pmap = DensePartitionMap(CAPACITY)
+    for key in (-1, CAPACITY, CAPACITY + 100):
+        pmap.assign(key, 1)
+        pmap.add_replica(key, 3)
+        assert pmap.replicas_of(key) == (1, 3)
+    assert len(pmap) == 3
+    assert pmap.partition_sizes() == {1: 3, 3: 3}
+
+
+def test_keys_order_dense_ascending_then_overflow():
+    pmap = DensePartitionMap(CAPACITY)
+    pmap.assign(CAPACITY + 1, 0)  # overflow, inserted first
+    pmap.assign(6, 0)
+    pmap.assign(2, 0)
+    assert list(pmap.keys()) == [2, 6, CAPACITY + 1]
+
+
+def test_set_replicas_empty_list_and_multi():
+    pmap = DensePartitionMap(CAPACITY)
+    pmap.set_replicas(4, [1, 2, 3])
+    assert pmap.replicas_of(4) == (1, 2, 3)
+    pmap.set_replicas(4, [2])
+    assert 4 not in pmap._multi
+    assert pmap.replicas_of(4) == (2,)
+    pmap.set_replicas(4, [])
+    assert 4 in pmap
+    assert pmap.replicas_of(4) == ()
+    pmap.set_replicas(4, None)
+    assert 4 not in pmap
+    assert len(pmap) == 0
+
+
+def test_copy_is_detached():
+    pmap = DensePartitionMap(CAPACITY)
+    pmap.assign(1, 0)
+    pmap.add_replica(1, 2)
+    clone = pmap.copy()
+    clone.move(1, 0, 3)
+    assert pmap.replicas_of(1) == (0, 2)
+    assert clone.replicas_of(1) == (3, 2)
+    pmap.assign(2, 1)
+    assert 2 not in clone

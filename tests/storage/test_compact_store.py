@@ -1,0 +1,179 @@
+"""CompactPartitionStore: behavioural equivalence and flyweight views.
+
+The compact store must be indistinguishable from ``PartitionStore``
+through the public interface — same results, same counters, same error
+messages — under arbitrary interleavings of the operations the executor
+and migration paths perform.  A hypothesis-driven dual harness asserts
+exactly that, plus targeted tests for the view semantics the executor
+relies on (live write-through, survival across slot compaction, stale
+detection after delete).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.storage import (
+    CompactPartitionStore,
+    PartitionStore,
+    Record,
+    RecordView,
+    WriteAheadLog,
+    recover,
+)
+
+KEYS = st.integers(min_value=0, max_value=15)
+VALUES = st.integers(min_value=-(2**62), max_value=2**62)
+
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), KEYS, VALUES),
+        st.tuples(st.just("upsert"), KEYS, VALUES),
+        st.tuples(st.just("delete"), KEYS, st.just(0)),
+        st.tuples(st.just("write"), KEYS, VALUES),
+        st.tuples(st.just("view_write"), KEYS, VALUES),
+        st.tuples(st.just("read"), KEYS, st.just(0)),
+        st.tuples(st.just("get_copy"), KEYS, st.just(0)),
+        st.tuples(st.just("keys"), st.just(0), st.just(0)),
+    ),
+    max_size=60,
+)
+
+
+def _apply(store, op, key, value):
+    """Run one operation; returns (result, error message or None)."""
+    try:
+        if op == "insert":
+            store.insert(Record(key=key, value=value))
+            return None, None
+        if op == "upsert":
+            store.upsert(Record(key=key, value=value, version=3))
+            return None, None
+        if op == "delete":
+            record = store.delete(key)
+            return (record.key, record.value, record.version), None
+        if op == "write":
+            store.write(key, value)
+            return None, None
+        if op == "view_write":
+            record = store.peek(key)
+            if record is None:
+                return None, None
+            record.write(value)
+            return (record.value, record.version), None
+        if op == "read":
+            return store.read(key), None
+        if op == "get_copy":
+            if key not in store:
+                return None, None
+            copied = store.get(key).copy()
+            return (copied.key, copied.value, copied.version), None
+        if op == "keys":
+            return (list(store.keys()), len(store)), None
+        raise AssertionError(op)
+    except StorageError as exc:
+        return None, str(exc)
+
+
+@settings(max_examples=200, deadline=None)
+@given(OPS)
+def test_equivalent_to_partition_store(ops):
+    """Same results, errors, counters, and contents for any interleaving."""
+    standard = PartitionStore(3)
+    compact = CompactPartitionStore(3)
+    for op, key, value in ops:
+        expected = _apply(standard, op, key, value)
+        actual = _apply(compact, op, key, value)
+        assert actual == expected, (op, key, value)
+    assert list(compact.keys()) == list(standard.keys())
+    assert (compact.inserts, compact.deletes) == (
+        standard.inserts, standard.deletes
+    )
+    for key in standard.keys():
+        lhs, rhs = compact.get(key), standard.get(key)
+        assert (lhs.value, lhs.version, lhs.size_bytes) == (
+            rhs.value, rhs.version, rhs.size_bytes
+        )
+
+
+def test_views_are_live_and_survive_compaction():
+    """The executor's contract: held views track the store through
+    other keys' swap-with-last deletes, and writes land in the store."""
+    store = CompactPartitionStore(0)
+    for key in range(4):
+        store.insert(Record(key=key, value=key * 10))
+    view = store.get(3)  # occupies the last slot
+    store.delete(0)  # swap-with-last moves key 3 into slot 0
+    assert view.value == 30
+    view.write(99)
+    assert store.read(3) == 99
+    assert store.get(3).version == 1
+    # Direct attribute assignment (the executor's undo path).
+    view.value = -5
+    view.version = 7
+    assert store.read(3) == -5
+    assert store.get(3).version == 7
+
+
+def test_stale_view_raises():
+    store = CompactPartitionStore(0)
+    store.insert(Record(key=1, value=1))
+    view = store.get(1)
+    store.delete(1)
+    with pytest.raises(StorageError, match="stale record view"):
+        _ = view.value
+    with pytest.raises(StorageError, match="no longer resident"):
+        view.write(2)
+
+
+def test_copy_is_detached():
+    store = CompactPartitionStore(0)
+    store.insert(Record(key=1, value=10))
+    snapshot = store.get(1).copy()
+    assert isinstance(snapshot, Record)
+    store.write(1, 20)
+    assert snapshot.value == 10
+
+
+def test_insert_accepts_views_from_other_stores():
+    """Migration inserts the source's record object into the target."""
+    source = CompactPartitionStore(0)
+    target = CompactPartitionStore(1)
+    source.insert(Record(key=5, value=42))
+    source.write(5, 43)
+    target.insert(source.get(5))
+    assert target.read(5) == 43
+    assert target.get(5).version == 1
+    # And the standard store accepts a RecordView too.
+    standard = PartitionStore(2)
+    standard.insert(source.get(5).copy())
+    assert standard.read(5) == 43
+
+
+def test_repr_shows_payload():
+    store = CompactPartitionStore(0)
+    store.insert(Record(key=2, value=7))
+    assert "key=2" in repr(store.get(2))
+
+
+def test_wal_roundtrip_with_compact_store():
+    """recover() rebuilds into the factory's store implementation."""
+    store = CompactPartitionStore(4)
+    wal = WriteAheadLog(4)
+    for key in range(8):
+        store.insert(Record(key=key, value=key))
+    wal.log_checkpoint(store)
+    wal.log_begin(1)
+    wal.log_write(1, 3, 333)
+    wal.log_delete(1, 7)
+    wal.log_commit(1)
+    wal.log_begin(2)
+    wal.log_write(2, 4, 444)  # never commits; must not survive
+
+    recovered = recover(wal, CompactPartitionStore)
+    assert isinstance(recovered, CompactPartitionStore)
+    assert recovered.read(3) == 333
+    assert 7 not in recovered
+    assert recovered.read(4) == 4
+    assert len(recovered) == 7

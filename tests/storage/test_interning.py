@@ -1,0 +1,48 @@
+"""Payload interning: WAL checkpoints share canonical payload triples."""
+
+from repro.storage import (
+    PartitionStore,
+    Record,
+    WriteAheadLog,
+    intern_payload,
+    recover,
+)
+from repro.storage.record import _PAYLOAD_INTERN, _PAYLOAD_INTERN_LIMIT
+
+
+def test_intern_returns_canonical_object():
+    first = intern_payload(7, 1, 8)
+    second = intern_payload(7, 1, 8)
+    assert first == (7, 1, 8)
+    assert second is first
+
+
+def test_intern_table_is_bounded():
+    _PAYLOAD_INTERN.clear()
+    for i in range(_PAYLOAD_INTERN_LIMIT + 10):
+        intern_payload(i, 0, 8)
+    assert len(_PAYLOAD_INTERN) <= _PAYLOAD_INTERN_LIMIT
+    # The table still interns after clearing.
+    assert intern_payload(1, 2, 3) is intern_payload(1, 2, 3)
+
+
+def test_checkpoints_share_payload_objects_across_cycles():
+    """Replaying crash/restart cycles must not re-allocate identical
+    payload triples: consecutive checkpoints of unchanged tuples carry
+    the same canonical objects."""
+    store = PartitionStore(0)
+    for key in range(16):
+        store.insert(Record(key=key, value=key % 4))
+    wal = WriteAheadLog(0)
+    wal.log_checkpoint(store)
+    wal.log_checkpoint(store)
+    first, second = [r.payload for r in wal.records()]
+    for key in range(16):
+        assert second[key] is first[key]
+    # Tuples sharing (value, version, size) share one triple within a
+    # single snapshot as well.
+    assert first[0] is first[4]
+
+    recovered = recover(wal)
+    assert len(recovered) == 16
+    assert recovered.read(5) == 1
