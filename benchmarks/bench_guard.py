@@ -92,6 +92,18 @@ SCALE_REQUIRED_FIELDS: dict[str, tuple[type, ...]] = {
     "dense_map_bytes_per_key": (int, float),
     "standard_map_bytes_per_key": (int, float),
     "stack_bytes_ratio": (int, float),
+    # End-to-end simulation section: an actual production_scale run
+    # (arrivals + schedulers at 100+ nodes), not just the dataset and
+    # routing layers.
+    "e2e_node_count": (int,),
+    "e2e_tuple_count": (int,),
+    "e2e_scheduler": (str,),
+    "e2e_interval_s": (int, float),
+    "e2e_measure_intervals": (int,),
+    "e2e_capacity_units_per_s": (int, float),
+    "e2e_throughput_txn_per_min": (list,),
+    "e2e_committed_total": (int,),
+    "e2e_wall_clock_s": (int, float),
 }
 
 #: Field sets by schema kind; ``generic`` accepts any metrics but still
@@ -161,6 +173,20 @@ def validate_schema(payload: Any, kind: str = "engine") -> list[str]:
                     f"{series} keys {sorted(payload[series])} do not match "
                     f"node_counts {sorted(counts)}"
                 )
+        # The e2e section must be internally consistent: one throughput
+        # sample per measured interval, at the promised cluster size.
+        series = payload["e2e_throughput_txn_per_min"]
+        if len(series) != payload["e2e_measure_intervals"]:
+            problems.append(
+                f"e2e_throughput_txn_per_min has {len(series)} samples, "
+                f"expected e2e_measure_intervals="
+                f"{payload['e2e_measure_intervals']}"
+            )
+        if payload["e2e_node_count"] < 100:
+            problems.append(
+                "e2e_node_count must be >= 100 (the section exists to "
+                "prove the simulation runs at cluster scale)"
+            )
     return problems
 
 

@@ -1,0 +1,158 @@
+"""RPR007 — cluster node-set mutation only through the membership API.
+
+The cluster's node list and lifecycle states are a single authority:
+:class:`~repro.cluster.cluster.Cluster` owns ``nodes``/``_by_partition``
+and walks each :class:`~repro.cluster.node.DataNode` through
+JOINING → ACTIVE → DRAINING → RETIRED via ``add_node()`` /
+``activate()`` / ``begin_drain()`` / ``retire()``.  Code that appends to
+``cluster.nodes`` directly, flips ``node.state``/``node.retired`` by
+hand, or constructs a bare ``DataNode`` bypasses the membership
+invariants (stable node ids, capacity-noise wiring, the retire-only-
+when-empty check) and the fault injector's lifecycle watch.  Outside
+``src/repro/cluster/`` all of that is a violation.
+
+Detection is syntactic: assignment (plain, augmented, or annotated) to
+a ``.state`` or ``.retired`` attribute, mutating method calls on a
+``.nodes`` or ``._by_partition`` attribute chain, subscript stores or
+deletes on those attributes, and any ``DataNode(...)`` call.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..core import (
+    Finding,
+    ModuleContext,
+    Rule,
+    finding_factory,
+    path_in_scope,
+    register,
+)
+
+SCOPE = ("src/repro/",)
+MEMBERSHIP_MODULE = ("src/repro/cluster/",)
+
+#: The attributes whose writes constitute a lifecycle transition.
+LIFECYCLE_ATTRS = frozenset({"state", "retired"})
+
+#: The cluster-owned collections holding the node set.
+NODE_SET_ATTRS = frozenset({"nodes", "_by_partition"})
+
+#: Methods that mutate a list/dict node collection in place.
+SET_MUTATORS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "pop",
+        "popitem",
+        "clear",
+        "update",
+        "setdefault",
+    }
+)
+
+
+def _node_set_base(expr: ast.expr) -> str | None:
+    """The node-set attribute name if ``expr`` is ``<x>.nodes``-like."""
+    if isinstance(expr, ast.Attribute) and expr.attr in NODE_SET_ATTRS:
+        return expr.attr
+    return None
+
+
+@register
+class MembershipAuthorityRule(Rule):
+    """Node lifecycle and the node set move only through Cluster's API."""
+
+    code = "RPR007"
+    name = "membership-authority"
+    description = (
+        "Cluster membership is a single authority: outside "
+        "src/repro/cluster/, no assignment to node .state/.retired, no "
+        "in-place mutation or subscript write on .nodes/._by_partition, "
+        "and no direct DataNode construction.  Use Cluster.add_node()/"
+        "activate()/begin_drain()/retire() instead."
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if ctx.tree is None:
+            return
+        if not path_in_scope(ctx.path, SCOPE):
+            return
+        if path_in_scope(ctx.path, MEMBERSHIP_MODULE):
+            return
+        make = finding_factory(ctx.path, self.code)
+        for node in ast.walk(ctx.tree):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and target.attr in LIFECYCLE_ATTRS
+                ):
+                    yield make(
+                        node,
+                        f"assignment to '.{target.attr}' outside the "
+                        "membership authority; lifecycle transitions go "
+                        "through Cluster.activate()/begin_drain()/retire()",
+                    )
+                elif (
+                    isinstance(target, ast.Subscript)
+                    and _node_set_base(target.value) is not None
+                ):
+                    yield make(
+                        node,
+                        f"subscript write on '.{_node_set_base(target.value)}' "
+                        "outside the membership authority; the node set "
+                        "changes only through Cluster.add_node()",
+                    )
+            if isinstance(node, ast.Delete):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and _node_set_base(target.value) is not None
+                    ):
+                        yield make(
+                            node,
+                            "deletion from "
+                            f"'.{_node_set_base(target.value)}' outside the "
+                            "membership authority; nodes are never removed "
+                            "— they are RETIRED via Cluster.retire()",
+                        )
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in SET_MUTATORS
+                    and _node_set_base(func.value) is not None
+                ):
+                    yield make(
+                        node,
+                        f"mutating call '.{_node_set_base(func.value)}"
+                        f".{func.attr}()' outside the membership "
+                        "authority; the node set changes only through "
+                        "Cluster.add_node()",
+                    )
+                elif isinstance(func, ast.Name) and func.id == "DataNode":
+                    yield make(
+                        node,
+                        "direct DataNode construction outside the "
+                        "membership authority; Cluster.add_node() assigns "
+                        "ids, wires capacity noise, and notifies watchers",
+                    )
+                elif (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "DataNode"
+                ):
+                    yield make(
+                        node,
+                        "direct DataNode construction outside the "
+                        "membership authority; Cluster.add_node() assigns "
+                        "ids, wires capacity noise, and notifies watchers",
+                    )

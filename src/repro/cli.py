@@ -29,6 +29,7 @@ from .experiments import (
     figure5_uniform_high,
     figure6_zipf_low,
     figure7_uniform_low,
+    figure_elastic,
     format_table1,
     run_cells,
 )
@@ -40,6 +41,7 @@ _FIGURES = {
     "5": figure5_uniform_high,
     "6": figure6_zipf_low,
     "7": figure7_uniform_low,
+    "elastic": figure_elastic,
 }
 
 
@@ -119,6 +121,15 @@ def _add_cell_arguments(
         ),
     )
     parser.add_argument(
+        "--elasticity-schedule", default=None, metavar="SCHEDULE",
+        help=(
+            "grow/shrink the cluster mid-run: either TIME:ACTION:VALUE "
+            "events ('200:add:5,600:drain:7', where add's value is a "
+            "node count and drain's a node id) or queue-watermark "
+            "policy ('high=50,low=2,check=3[,max=M][,min=N]')"
+        ),
+    )
+    parser.add_argument(
         "--stale-route-policy", default="follow",
         choices=("follow", "abort"),
         help=(
@@ -187,6 +198,11 @@ def _cell_config(args: argparse.Namespace, scheduler: Optional[str] = None):
         from .faults import parse_fault_schedule
 
         faults = parse_fault_schedule(args.fault_schedule)
+    elasticity = None
+    if getattr(args, "elasticity_schedule", None):
+        from .elasticity import parse_elasticity_schedule
+
+        elasticity = parse_elasticity_schedule(args.elasticity_schedule)
     config = bench_scale(
         scheduler=scheduler or args.scheduler,
         distribution=args.distribution,
@@ -196,6 +212,7 @@ def _cell_config(args: argparse.Namespace, scheduler: Optional[str] = None):
         measure_intervals=args.intervals,
         warmup_intervals=args.warmup,
         faults=faults,
+        elasticity=elasticity,
     )
     policy = getattr(args, "stale_route_policy", "follow")
     if policy != "follow":

@@ -1,6 +1,6 @@
 """Simulated shared-nothing cluster: data nodes, network, deadlock scope."""
 
 from .cluster import Cluster, ClusterConfig
-from .node import DataNode
+from .node import DataNode, NodeState
 
-__all__ = ["Cluster", "ClusterConfig", "DataNode"]
+__all__ = ["Cluster", "ClusterConfig", "DataNode", "NodeState"]

@@ -25,6 +25,7 @@ resume capacity noise, and rejoin the cluster.
 
 from __future__ import annotations
 
+import enum
 import random
 from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
 
@@ -45,6 +46,28 @@ if TYPE_CHECKING:  # pragma: no cover
 #: the standard per-record store; large presets inject the memory-lean
 #: :class:`~repro.storage.compact_store.CompactPartitionStore`.
 StoreFactory = Callable[[PartitionId], TupleStore]
+
+
+class NodeState(enum.Enum):
+    """Membership lifecycle of a data node.
+
+    ``JOINING → ACTIVE → DRAINING → RETIRED``, transitions driven only
+    by the :class:`~repro.cluster.cluster.Cluster` membership API (the
+    repro-lint rule RPR007 enforces this).  A node's crash/restart state
+    (:attr:`DataNode.is_down`) is orthogonal: a DRAINING node can crash
+    and be restarted mid-drain.
+    """
+
+    #: Provisioned and serving as a placement *target*, but not yet
+    #: counted as a full member (no resident data initially).
+    JOINING = "joining"
+    #: Full member: serves reads/writes and is a placement target.
+    ACTIVE = "active"
+    #: Scheduled for removal: still serves its resident tuples, but mass
+    #: migration is moving them off; no new placements land here.
+    DRAINING = "draining"
+    #: Removed from the serving set: holds no tuples, routes to it abort.
+    RETIRED = "retired"
 
 
 class DataNode:
@@ -71,6 +94,12 @@ class DataNode:
         self.base_rate = float(capacity_units_per_s)
         #: Optional write-ahead log; enabled via :meth:`enable_wal`.
         self.wal: Optional["WriteAheadLog"] = None
+        #: Membership lifecycle state.  Mutated only by the cluster's
+        #: membership API (:meth:`Cluster.add_node` and friends).
+        self.state = NodeState.ACTIVE
+        #: Fast-path mirror of ``state is NodeState.RETIRED`` for the
+        #: transaction executor's per-lock admission check.
+        self.retired = False
         #: ``True`` while crashed (between :meth:`crash` and :meth:`restart`).
         self.is_down = False
         self.crash_count = 0

@@ -148,3 +148,40 @@ def generate_and_rank(
     # Line 27: sort TRep by descending benefit density.
     specs.sort(key=lambda spec: (-spec.benefit_density, spec.type_id))
     return specs
+
+
+def chunk_specs(
+    specs: Sequence[RepartitionTransactionSpec], max_ops: int
+) -> list[RepartitionTransactionSpec]:
+    """Split oversized specs into transactions of at most ``max_ops`` ops.
+
+    Draining a node emits one operation per resident tuple; packaged as
+    a single repartition transaction that would lock thousands of keys
+    at once and stall the cluster it is supposed to relieve.  Chunking
+    keeps each transaction's lock footprint bounded while preserving the
+    rank order Algorithm 1 produced: chunks inherit their parent's
+    position, benefit and cost are split proportionally (so benefit
+    density — the ranking key — is preserved), and only the first chunk
+    keeps the parent's ``type_id`` (TRep maps each type to exactly one
+    transaction).
+    """
+    if max_ops < 1:
+        raise ValueError(f"max_ops must be positive: {max_ops}")
+    out: list[RepartitionTransactionSpec] = []
+    for spec in specs:
+        if len(spec.ops) <= max_ops:
+            out.append(spec)
+            continue
+        total = len(spec.ops)
+        for start in range(0, total, max_ops):
+            ops = spec.ops[start:start + max_ops]
+            share = len(ops) / total
+            out.append(
+                RepartitionTransactionSpec(
+                    ops=ops,
+                    type_id=spec.type_id if start == 0 else -1,
+                    benefit=spec.benefit * share,
+                    cost=spec.cost * share,
+                )
+            )
+    return out

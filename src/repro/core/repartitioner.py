@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional, Sequence
 
+from ..txn.transaction import Transaction
+
 from ..metrics.collectors import MetricsCollector
 from ..partitioning.cost_model import CostModel
 from ..partitioning.operations import RepartitionOperation
@@ -101,3 +103,21 @@ class Repartitioner:
         """Convenience: rank ``plan`` and deploy it in one call."""
         specs = self.rank_plan(plan, profile)
         return self.deploy(specs, scheduler)
+
+    def extend(
+        self, specs: Sequence[RepartitionTransactionSpec]
+    ) -> list["Transaction"]:
+        """Add ranked specs to the active session mid-deployment.
+
+        The transaction manager holds exactly one scheduler slot, so
+        concurrent plans (the workload-driven plan plus elastic drain or
+        rebalance migrations) share the one session and scheduler; the
+        scheduler is told about the newcomers through its
+        :meth:`~repro.core.schedulers.base.Scheduler.on_extended` hook.
+        """
+        if self.session is None:
+            raise RuntimeError("no repartition session to extend")
+        new_txns = self.session.extend(specs)
+        if self.scheduler is not None:
+            self.scheduler.on_extended(new_txns)
+        return new_txns

@@ -22,3 +22,9 @@ class AfterAllScheduler(Scheduler):
         assert self.session is not None
         for rep_txn in list(self.session.pending()):
             self.session.submit(rep_txn, Priority.LOW)
+
+    def on_extended(self, new_txns: list) -> None:
+        """Late arrivals (elastic migrations) queue at LOW like the rest."""
+        assert self.session is not None
+        for rep_txn in new_txns:
+            self.session.submit(rep_txn, Priority.LOW)

@@ -23,3 +23,9 @@ class ApplyAllScheduler(Scheduler):
         assert self.session is not None
         for rep_txn in list(self.session.pending()):
             self.session.submit(rep_txn, Priority.HIGH)
+
+    def on_extended(self, new_txns: list) -> None:
+        """Late arrivals (elastic migrations) go straight in at HIGH."""
+        assert self.session is not None
+        for rep_txn in new_txns:
+            self.session.submit(rep_txn, Priority.HIGH)

@@ -57,6 +57,16 @@ class Scheduler:
     def on_submit(self, txn: Transaction) -> None:
         """A normal transaction is entering the queue."""
 
+    def on_extended(self, new_txns: list[Transaction]) -> None:
+        """The session gained repartition transactions mid-deployment.
+
+        Elastic membership events (node drains, scale-outs) extend the
+        running session with freshly ranked migration transactions.
+        Each strategy treats newcomers the way :meth:`begin` treated the
+        original batch; the default (used by Piggyback, which holds
+        everything PENDING for carriers) is to do nothing.
+        """
+
     def on_finished(self, txn: Transaction, success: bool) -> None:
         """A transaction finished; update repartition-transaction state."""
         session = self.session

@@ -90,6 +90,12 @@ class FeedbackScheduler(Scheduler):
         for rep_txn in list(self.session.pending()):
             self.session.submit(rep_txn, Priority.LOW)
 
+    def on_extended(self, new_txns: list[Transaction]) -> None:
+        """Late arrivals join the LOW baseline; the PID promotes them."""
+        assert self.session is not None
+        for rep_txn in new_txns:
+            self.session.submit(rep_txn, Priority.LOW)
+
     # ------------------------------------------------------------------
     # Control loop
     # ------------------------------------------------------------------

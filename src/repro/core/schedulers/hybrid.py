@@ -57,6 +57,11 @@ class HybridScheduler(Scheduler):
     def on_interval(self, record: IntervalRecord) -> None:
         self.feedback.on_interval(record)
 
+    def on_extended(self, new_txns: list[Transaction]) -> None:
+        # Queue residency is the feedback module's job; the piggyback
+        # module claims newcomers out of the queue via TRep as usual.
+        self.feedback.on_extended(new_txns)
+
     def on_submit(self, txn: Transaction) -> None:
         self.piggyback.on_submit(txn)
 

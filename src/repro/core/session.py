@@ -83,6 +83,52 @@ class RepartitionSession:
             self.completed.succeed()
 
     # ------------------------------------------------------------------
+    # Extension (elastic membership: more migrations mid-session)
+    # ------------------------------------------------------------------
+    def extend(
+        self, specs: Sequence[RepartitionTransactionSpec]
+    ) -> list[Transaction]:
+        """Add ranked specs to this session as PENDING transactions.
+
+        Elastic membership events (drain, scale-out) arrive while a
+        deployment may already be running — or already finished.  The
+        session absorbs the new work: fresh transactions join
+        ``rep_txns`` and TRep (types not already mapped), the metrics
+        op total grows, and if the completion event already fired it is
+        re-armed with a fresh event so the run's recorded completion
+        time reflects the *last* migration, not the first batch's.
+        """
+        new_txns = [
+            self.tm.create_repartition(
+                ops=spec.ops,
+                type_id=spec.type_id,
+                benefit=spec.benefit,
+                cost=spec.cost,
+                benefit_density=spec.benefit_density,
+            )
+            for spec in specs
+        ]
+        for txn in new_txns:
+            self.rep_txns.append(txn)
+            self._states[txn.txn_id] = RepState.PENDING
+            if (
+                txn.type_id is not None
+                and txn.type_id >= 0
+                and txn.type_id not in self.trep
+            ):
+                self.trep[txn.type_id] = txn
+        added_ops = sum(len(txn.rep_ops) for txn in new_txns)
+        self.ops_total += added_ops
+        self.metrics.set_rep_ops_total(
+            self.metrics.rep_ops_total + added_ops
+        )
+        if new_txns and self.completed.triggered:
+            # The old event already woke its waiters (that completion
+            # was real at the time); future waiters see the new one.
+            self.completed = Event(self.env)
+        return new_txns
+
+    # ------------------------------------------------------------------
     # State queries
     # ------------------------------------------------------------------
     def state_of(self, txn_id: TxnId) -> RepState:

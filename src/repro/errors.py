@@ -19,6 +19,11 @@ class SimulationError(ReproError, ValueError):
     """
 
 
+class MembershipError(ReproError):
+    """An illegal node-lifecycle transition (e.g. retiring a node that
+    still holds tuples, draining a node that is not ACTIVE)."""
+
+
 class RoutingError(ReproError):
     """The query router could not resolve a key to a partition."""
 

@@ -42,7 +42,10 @@ if TYPE_CHECKING:  # pragma: no cover
 #: v3: epoch-versioned partition maps (IntervalRecord gained
 #: epoch_publishes/forwarded_reads/stale_route_retries; RuntimeConfig
 #: gained stale_route_policy/epoch_log_limit, which change the hash).
-CACHE_SCHEMA_VERSION = 3
+#: v4: elastic membership (IntervalRecord gained the per-state node
+#: census fields; ExperimentConfig gained the ``elasticity`` schedule,
+#: which participates in the hash).
+CACHE_SCHEMA_VERSION = 4
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"

@@ -27,6 +27,7 @@ from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Optional
 
 from ..cluster.cluster import ClusterConfig
+from ..elasticity import ElasticityEvent, ElasticityScheduleConfig
 from ..errors import ConfigError
 from ..faults import FaultEvent, FaultScheduleConfig
 from ..workload.generator import (
@@ -162,6 +163,9 @@ class ExperimentConfig:
     #: Optional crash/restart schedule; ``None`` (or a schedule with
     #: nothing in it) runs fault-free with zero overhead.
     faults: Optional[FaultScheduleConfig] = None
+    #: Optional scale-out/in schedule; ``None`` (or a schedule with
+    #: nothing in it) runs with a static node set and zero overhead.
+    elasticity: Optional[ElasticityScheduleConfig] = None
 
     def __post_init__(self) -> None:
         if self.scheduler not in SCHEDULER_NAMES:
@@ -221,6 +225,16 @@ def _field_from_dict(name: str, value: Any) -> Any:
             events=tuple(FaultEvent(**event) for event in value["events"]),
             **rest,
         )
+    if name == "elasticity":
+        if value is None:
+            return None
+        rest = {key: val for key, val in value.items() if key != "events"}
+        return ElasticityScheduleConfig(
+            events=tuple(
+                ElasticityEvent(**event) for event in value["events"]
+            ),
+            **rest,
+        )
     nested = _NESTED_CONFIG_TYPES.get(name)
     if nested is not None:
         return nested(**value)
@@ -265,6 +279,7 @@ def bench_scale(
     measure_intervals: int = 40,
     warmup_intervals: int = 5,
     faults: Optional[FaultScheduleConfig] = None,
+    elasticity: Optional[ElasticityScheduleConfig] = None,
 ) -> ExperimentConfig:
     """The scaled-down preset the benchmark harness uses."""
     # Type counts mirror the paper's 30,000 (uniform) vs 23,457 (Zipf)
@@ -292,6 +307,7 @@ def bench_scale(
         workload=workload,
         runtime=runtime,
         faults=faults,
+        elasticity=elasticity,
     )
 
 

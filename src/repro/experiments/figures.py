@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
+from ..elasticity import parse_elasticity_schedule
 from ..metrics.collectors import IntervalRecord
 from ..metrics.report import format_comparison_table, format_sparkline_panel
 from .cache import ResultCache
@@ -187,6 +188,97 @@ def figure7_uniform_low(**kwargs) -> FigureResult:
     """Figure 7: Uniform workload under low load."""
     return _run_cells("Figure 7 (Uniform/Low)", "uniform", "low",
                       GRID_ALPHAS, **kwargs)
+
+
+#: Default elasticity schedule for the elastic-membership figure: the
+#: bench preset starts at 5 nodes, doubles to 10 mid-run, then drains
+#: the five joiners back out (N → 2N → N).  Node ids 5-9 are the nodes
+#: ``add`` creates (ids are assigned in join order after the initial 5).
+ELASTIC_SCHEDULE = (
+    "200:add:5,"
+    "760:drain:5,760:drain:6,760:drain:7,760:drain:8,760:drain:9"
+)
+
+#: Metrics plotted for the elastic figure: the throughput dip/recovery
+#: across both transitions, plus the membership/backlog series that
+#: explain it.
+ELASTIC_METRICS = (
+    ("throughput_txn_per_min", "Throughput (txn/min)"),
+    ("rep_rate", "RepRate"),
+    ("migration_backlog", "Migration backlog (ops)"),
+    ("nodes_active", "ACTIVE nodes"),
+    ("nodes_draining", "DRAINING nodes"),
+)
+
+
+@dataclass
+class ElasticFigureResult:
+    """The elastic-membership figure: N → 2N → N under each scheduler."""
+
+    base: FigureResult
+    schedule: str
+
+    @property
+    def runs(self) -> dict[tuple[str, float], ExperimentResult]:
+        return self.base.runs
+
+    def render(self, every: int = 10) -> str:
+        blocks = []
+        for metric, label in ELASTIC_METRICS:
+            title = f"{self.base.figure} — {label} [{self.schedule}]"
+            panel = self.base.panel(metric, 1.0)
+            blocks.append(
+                format_comparison_table(panel, metric, title, every)
+                + "\n"
+                + format_sparkline_panel(panel, metric)
+            )
+        return "\n\n".join(blocks)
+
+
+def figure_elastic(
+    schedule: str = ELASTIC_SCHEDULE,
+    schedulers: Sequence[str] = SCHEDULER_NAMES,
+    seed: int = 0,
+    measure_intervals: int = 60,
+    progress: Optional[Callable[[str], None]] = None,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    report: Optional[CellReport] = None,
+) -> ElasticFigureResult:
+    """The elastic-membership figure: scale-out then scale-in mid-run.
+
+    Runs every scheduler at α = 100% (Zipf/high) on the bench preset
+    with ``schedule`` driving membership — by default 5 nodes join at
+    t = 200 s and the same five drain back out at t = 760 s — and
+    plots the throughput dip/recovery plus the membership and
+    migration-backlog series behind it.
+    """
+    parsed = parse_elasticity_schedule(schedule)
+    factory = (
+        lambda sched, dist, lo, alpha, sd: bench_scale(
+            scheduler=sched,
+            distribution=dist,
+            load=lo,
+            alpha=alpha,
+            seed=sd,
+            measure_intervals=measure_intervals,
+            elasticity=parsed,
+        )
+    )
+    base = _run_cells(
+        "Elastic (N-2N-N)",
+        "zipf",
+        "high",
+        (1.0,),
+        schedulers,
+        seed,
+        config_factory=factory,
+        progress=progress,
+        jobs=jobs,
+        cache=cache,
+        report=report,
+    )
+    return ElasticFigureResult(base=base, schedule=schedule)
 
 
 @dataclass

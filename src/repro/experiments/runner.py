@@ -25,6 +25,7 @@ from ..core.schedulers import (
     Scheduler,
 )
 from ..core.session import RepartitionSession
+from ..elasticity import ElasticityController
 from ..errors import ConfigError
 from ..faults import FaultInjector
 from ..metrics.collectors import IntervalRecord, MetricsCollector
@@ -120,6 +121,7 @@ class System:
     scheduler: Optional[Scheduler] = None
     session: Optional[RepartitionSession] = None
     fault_injector: Optional[FaultInjector] = None
+    elasticity_controller: Optional[ElasticityController] = None
 
 
 @dataclass
@@ -256,6 +258,7 @@ def build_system(config: ExperimentConfig) -> System:
     # The TM needs the collector at construction and the collector probes
     # the TM's queue, so the probe is wired second.
     metrics.set_queue_length_probe(lambda: len(tm.queue))
+    metrics.set_node_state_probe(cluster.state_counts)
 
     fault_injector = None
     if config.faults is not None and config.faults.enabled:
@@ -272,6 +275,15 @@ def build_system(config: ExperimentConfig) -> System:
             metrics=metrics,
         )
         fault_injector.start()
+        injector = fault_injector
+
+        def _watch_new_node(node: "Any") -> None:
+            # Nodes added by elasticity are just as killable as the
+            # originals: WAL write path on, lifecycle process spawned.
+            node.enable_fault_injection()
+            injector.watch_node(node)
+
+        cluster.on_node_added.append(_watch_new_node)
 
     expected_cost = cost_model.expected_cost_per_txn(profile.types, pmap)
     rate = calibrate_rate(
@@ -296,6 +308,24 @@ def build_system(config: ExperimentConfig) -> System:
         horizon_s=horizon,
     )
     repartitioner = Repartitioner(env, tm, router, metrics, cost_model)
+
+    elasticity_controller = None
+    if config.elasticity is not None and config.elasticity.enabled:
+        normal_cost_hint = max(
+            rate * config.runtime.interval_s * config.cost.base_cost,
+            config.cost.base_cost,
+        )
+        elasticity_controller = ElasticityController(
+            cluster,
+            repartitioner,
+            profile,
+            config.elasticity,
+            scheduler_factory=(
+                lambda: make_scheduler(config, normal_cost_hint)
+            ),
+            fault_injector=fault_injector,
+        )
+        elasticity_controller.start()
     return System(
         config=config,
         env=env,
@@ -313,6 +343,7 @@ def build_system(config: ExperimentConfig) -> System:
         repartitioner=repartitioner,
         arrival_rate_txn_per_s=rate,
         fault_injector=fault_injector,
+        elasticity_controller=elasticity_controller,
     )
 
 
@@ -326,8 +357,10 @@ def start_repartitioning(
 ) -> RepartitionSession:
     """Derive, rank, and begin deploying the repartition plan (now)."""
     config = system.config
+    # Plan against the post-transition node set: ACTIVE plus JOINING
+    # partitions are placement targets, DRAINING/RETIRED are not.
     optimizer = RepartitionOptimizer(
-        system.cost_model, system.cluster.partition_ids
+        system.cost_model, system.cluster.placement_partition_ids
     )
     types_to_fix = [
         t for t in system.profile.types
@@ -342,12 +375,20 @@ def start_repartitioning(
         * config.cost.base_cost,
         config.cost.base_cost,
     )
-    scheduler = make_scheduler(config, normal_cost_hint)
     specs = system.repartitioner.rank_plan(plan, system.profile)
     if spec_transform is not None:
         specs = spec_transform(specs)
-    session = system.repartitioner.deploy(specs, scheduler)
-    system.scheduler = scheduler
+    if system.repartitioner.session is not None:
+        # An elasticity transition during warmup already opened the
+        # session (there is one scheduler slot); the workload plan joins
+        # it instead of deploying a second one.
+        system.repartitioner.extend(specs)
+        session = system.repartitioner.session
+        system.scheduler = system.repartitioner.scheduler
+    else:
+        scheduler = make_scheduler(config, normal_cost_hint)
+        session = system.repartitioner.deploy(specs, scheduler)
+        system.scheduler = scheduler
     system.session = session
     return session
 

@@ -204,15 +204,46 @@ class FaultInjector:
             self.env.process(self._run_events())
         if self.schedule.mtbf_s is not None:
             for node in self.cluster.nodes:
-                self.env.process(self._node_lifecycle(node))
+                self.watch_node(node)
+
+    def watch_node(self, node: "DataNode") -> None:
+        """Subject one node to the stochastic MTBF/MTTR lifecycle.
+
+        Called for each seed node by :meth:`start` and for nodes added
+        mid-run by the elasticity layer, so late joiners face the same
+        hostility as founding members.  No-op for deterministic-only
+        schedules or before :meth:`start`.
+        """
+        if self._started and self.schedule.mtbf_s is not None:
+            self.env.process(self._node_lifecycle(node))
 
     # ------------------------------------------------------------------
     # Crash / restart primitives (shared by both modes)
     # ------------------------------------------------------------------
     def _live_count(self) -> int:
-        return sum(1 for node in self.cluster.nodes if not node.is_down)
+        """Up nodes that are full cluster members.
+
+        DRAINING and RETIRED nodes are deliberately *not* counted: they
+        are on their way out, so the "never kill the last live node"
+        guard must not treat them as the node keeping the cluster alive
+        — composing a drain schedule with a crash schedule could
+        otherwise leave only departing members serving.
+        """
+        from .cluster.node import NodeState
+
+        return sum(
+            1
+            for node in self.cluster.nodes
+            if not node.is_down
+            and node.state in (NodeState.ACTIVE, NodeState.JOINING)
+        )
 
     def _crash(self, node: "DataNode") -> bool:
+        if node.retired:
+            # A retired node holds nothing and serves nothing; crashing
+            # it would only skew the degradation accounting.
+            self.skipped += 1
+            return False
         if node.is_down or self._live_count() <= 1:
             # Never take down the last live node: a fully dead cluster
             # deadlocks every transaction and measures nothing.

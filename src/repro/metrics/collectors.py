@@ -76,6 +76,13 @@ class IntervalRecord:
     #: Retries of transactions aborted with the ``stale_route`` cause.
     stale_route_retries: int = 0
 
+    #: Cluster membership census at interval close (elastic runs); all
+    #: zero when no node-state probe is wired.
+    nodes_joining: int = 0
+    nodes_active: int = 0
+    nodes_draining: int = 0
+    nodes_retired: int = 0
+
     # ------------------------------------------------------------------
     # Derived series (the paper's y-axes)
     # ------------------------------------------------------------------
@@ -125,6 +132,15 @@ class IntervalRecord:
         return self.rep_ops_applied_cumulative / self.rep_ops_total
 
     @property
+    def migration_backlog(self) -> int:
+        """Repartition operations still waiting to be applied.
+
+        During an elastic drain this is the mass-migration backlog the
+        scale-in is waiting on; it returns to zero at quiescence.
+        """
+        return self.rep_ops_total - self.rep_ops_applied_cumulative
+
+    @property
     def pv_ratio(self) -> float:
         """High-priority repartition cost / normal cost (Feedback's PV)."""
         if self.normal_cost <= 0:
@@ -169,6 +185,9 @@ class MetricsCollector:
         #: via :meth:`set_queue_length_probe` when the queue owner (the
         #: transaction manager) is built later than the collector.
         self.queue_length_probe = queue_length_probe
+        #: Samples the cluster's per-state node counts at interval close
+        #: (elastic runs); wired via :meth:`set_node_state_probe`.
+        self.node_state_probe: Optional[Callable[[], dict[str, int]]] = None
         self.intervals: list[IntervalRecord] = []
         self.rep_ops_total = 0
         self.rep_ops_applied = 0
@@ -261,6 +280,14 @@ class MetricsCollector:
             raise TypeError(f"probe must be callable, got {probe!r}")
         self.queue_length_probe = probe
 
+    def set_node_state_probe(
+        self, probe: Callable[[], dict[str, int]]
+    ) -> None:
+        """Wire the membership census probe (``Cluster.state_counts``)."""
+        if not callable(probe):
+            raise TypeError(f"probe must be callable, got {probe!r}")
+        self.node_state_probe = probe
+
     def record_rep_op_applied(self) -> None:
         """One repartition operation took effect (committed)."""
         self.rep_ops_applied += 1
@@ -299,6 +326,12 @@ class MetricsCollector:
         record.rep_ops_total = self.rep_ops_total
         if self.queue_length_probe is not None:
             record.queue_length_end = self.queue_length_probe()
+        if self.node_state_probe is not None:
+            census = self.node_state_probe()
+            record.nodes_joining = census.get("joining", 0)
+            record.nodes_active = census.get("active", 0)
+            record.nodes_draining = census.get("draining", 0)
+            record.nodes_retired = census.get("retired", 0)
         self.intervals.append(record)
         self._current = IntervalRecord(
             index=record.index + 1, start=self.env.now, end=self.env.now

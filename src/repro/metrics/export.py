@@ -43,7 +43,12 @@ INTERVAL_FIELDS = (
     "epoch_publishes",
     "forwarded_reads",
     "stale_route_retries",
+    "nodes_joining",
+    "nodes_active",
+    "nodes_draining",
+    "nodes_retired",
     # Derived series (the paper's y-axes):
+    "migration_backlog",
     "rep_rate",
     "throughput_txn_per_min",
     "mean_latency_ms",

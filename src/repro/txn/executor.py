@@ -49,7 +49,7 @@ from ..routing.epoch import EpochStage, MapEpoch
 from ..routing.query import Query
 from ..routing.router import QueryRouter
 from ..sim.events import Event
-from ..types import AccessMode, PartitionId, TxnStatus
+from ..types import AccessMode, PartitionId, Priority, TxnStatus
 from .transaction import Transaction
 from .two_phase_commit import TwoPhaseCommitCoordinator
 
@@ -359,6 +359,10 @@ class TransactionExecutor:
                 read_routes.append((query.key, pid))
             yield from node.work(work_units)
             txn.normal_cost_units += work_units
+            # A crash at the instant the work event fired cannot revoke
+            # it; re-check before reading the (possibly wiped) store.
+            if node.is_down:
+                raise NodeDownError(node.node_id, txn.txn_id)
             node.store.read(query.key)
             if self.config.isolation == "read_committed":
                 # Reads do not hold their lock to commit: the shared lock
@@ -391,6 +395,8 @@ class TransactionExecutor:
         assert query.value is not None
         for pid in replica_pids:
             node = self.cluster.node_for_partition(pid)
+            if node.is_down:
+                raise NodeDownError(node.node_id, txn.txn_id)
             record = node.store.get(query.key)
             undo_log.append(
                 ("write", node, query.key, record.value, record.version)
@@ -496,6 +502,11 @@ class TransactionExecutor:
         yield from source_node.work(half_work)
         txn.rep_cost_units += half_work
 
+        # A crash at the very instant the work event fired cannot revoke
+        # it (the event already succeeded), so the resumed process would
+        # read a wiped store: re-check before touching volatile state.
+        if source_node.is_down:
+            raise NodeDownError(source_node.node_id, txn.txn_id)
         record = source_node.store.get(key)
         yield from self.cluster.network.transfer(
             source_node.node_id, dest_node.node_id, record.size_bytes
@@ -503,6 +514,8 @@ class TransactionExecutor:
 
         yield from dest_node.work(half_work)
         txn.rep_cost_units += half_work
+        if dest_node.is_down:
+            raise NodeDownError(dest_node.node_id, txn.txn_id)
         if key not in dest_node.store:
             copy = record.copy()
             dest_node.store.insert(copy)
@@ -530,12 +543,18 @@ class TransactionExecutor:
         half_work = self._op_work(txn) / 2
         yield from source_node.work(half_work)
         txn.rep_cost_units += half_work
+        # Same-instant crash cannot revoke an already-fired work event;
+        # re-check before reading the (possibly wiped) store.
+        if source_node.is_down:
+            raise NodeDownError(source_node.node_id, txn.txn_id)
         record = source_node.store.get(key)
         yield from self.cluster.network.transfer(
             source_node.node_id, dest_node.node_id, record.size_bytes
         )
         yield from dest_node.work(half_work)
         txn.rep_cost_units += half_work
+        if dest_node.is_down:
+            raise NodeDownError(dest_node.node_id, txn.txn_id)
         if key not in dest_node.store:
             copy = record.copy()
             dest_node.store.insert(copy)
@@ -599,14 +618,43 @@ class TransactionExecutor:
                 # The stage overlay makes earlier ops of this same
                 # transaction visible to later source lookups.
                 source = stage.primary_of(op.key)
+                if source == op.destination:
+                    # A concurrent transaction already completed this
+                    # exact move between the start-of-txn dedup check
+                    # and now (e.g. a drain sweep racing the workload
+                    # plan); nothing left to do.
+                    self._report_applied(op, txn)
+                    continue
                 source_node = self.cluster.node_for_partition(source)
                 if op.key in source_node.store:
                     source_node.store.delete(op.key)
                     journal.delete(source_node, op.key)
-                stage.move(op.key, source, op.destination)
+                if op.destination in stage.replicas_of(op.key):
+                    # The destination gained a replica concurrently
+                    # (workload-plan CreateReplica racing a drain): the
+                    # move degenerates to retiring the source copy.
+                    stage.remove_replica(op.key, source)
+                else:
+                    stage.move(op.key, source, op.destination)
             elif isinstance(op, CreateReplica):
+                if op.destination in stage.replicas_of(op.key):
+                    # Raced by a concurrent move/copy onto the same
+                    # partition; the replica already exists.
+                    self._report_applied(op, txn)
+                    continue
                 stage.add_replica(op.key, op.destination)
             elif isinstance(op, DeleteReplica):
+                replicas = stage.replicas_of(op.key)
+                if op.partition not in replicas:
+                    # Concurrently moved or deleted already.
+                    self._report_applied(op, txn)
+                    continue
+                if len(replicas) == 1:
+                    # A concurrent delete made this the last copy:
+                    # dropping it would strand the tuple, so the op is
+                    # abandoned (the record stays resident).
+                    self._report_applied(op, txn)
+                    continue
                 node = self.cluster.node_for_partition(op.partition)
                 if op.key in node.store:
                     node.store.delete(op.key)
@@ -645,6 +693,13 @@ class TransactionExecutor:
         key: int,
         mode: LockMode,
     ) -> Generator[Event, Any, None]:
+        if node.retired:
+            # Admission control for elastic scale-in: the only way a
+            # transaction reaches a RETIRED node is a route pinned
+            # before the drain's final epoch published.  Abort as a
+            # stale route — the retry re-pins and routes to wherever
+            # the drain moved the tuple.
+            raise StaleRouteAbort(txn.txn_id, key, node.partition_id)
         if node.is_down:
             raise NodeDownError(node.node_id, txn.txn_id)
         event = node.locks.acquire(txn.txn_id, key, mode)
@@ -653,7 +708,16 @@ class TransactionExecutor:
                 event.defused = True
                 raise event.value
             return
-        if self.config.lock_timeout_s is None:
+        if self.config.lock_timeout_s is None or (
+            not txn.is_normal and txn.priority is Priority.HIGH
+        ):
+            # The lock-wait timeout is a liveness heuristic for normal
+            # transactions; a HIGH repartition transaction (ApplyAll, or
+            # one escalated past its migration deadline) would otherwise
+            # livelock on a hot tuple under overload — time out, rejoin
+            # the back of the FIFO queue, repeat.  Waiting in place is
+            # guaranteed progress; the deadlock detector still guards
+            # against genuine cycles.
             yield event
             return
         timeout = self.env.timeout(self.config.lock_timeout_s)

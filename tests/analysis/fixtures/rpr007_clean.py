@@ -1,0 +1,22 @@
+# virtual-path: src/repro/experiments/membership_clean.py
+"""Fixture: the sanctioned membership workflow."""
+
+from repro.cluster.node import NodeState
+
+
+def scale_out(cluster, count):
+    joined = [cluster.add_node() for _ in range(count)]
+    for node in joined:
+        cluster.activate(node.node_id)
+    return joined
+
+
+def drain_and_retire(cluster, node_id):
+    cluster.begin_drain(node_id)
+    if len(cluster.node(node_id).store) == 0:
+        cluster.retire(node_id)
+
+
+def census(cluster):
+    active = cluster.nodes_in(NodeState.ACTIVE)
+    return len(active), cluster.state_counts()

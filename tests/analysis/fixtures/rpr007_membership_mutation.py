@@ -1,0 +1,34 @@
+# virtual-path: src/repro/experiments/membership_mutation.py
+"""Fixture: mutating the node set / lifecycle outside the cluster API."""
+
+from repro.cluster.node import DataNode, NodeState
+
+
+def flip_lifecycle_by_hand(cluster):
+    node = cluster.nodes[0]
+    node.state = NodeState.DRAINING
+    node.retired = True
+
+
+def splice_node_set(cluster, node):
+    cluster.nodes.append(node)
+    cluster.nodes.pop()
+    cluster._by_partition[node.partition_id] = node
+    del cluster._by_partition[node.partition_id]
+
+
+def forge_node(env, detector):
+    return DataNode(
+        env,
+        node_id=99,
+        partition_id=99,
+        capacity_units_per_s=40.0,
+        max_connections=100,
+        detector=detector,
+    )
+
+
+def reads_are_fine(cluster):
+    first = cluster.nodes[0]
+    count = len(cluster.nodes)
+    return first.state, first.retired, count

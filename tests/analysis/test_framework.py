@@ -28,7 +28,7 @@ SIM_PATH = "src/repro/sim/stamp.py"
 
 
 class TestRegistry:
-    def test_all_six_rules_registered(self) -> None:
+    def test_all_seven_rules_registered(self) -> None:
         codes = {rule.code for rule in all_rules()}
         assert codes == {
             "RPR001",
@@ -37,6 +37,7 @@ class TestRegistry:
             "RPR004",
             "RPR005",
             "RPR006",
+            "RPR007",
         }
 
     def test_rules_carry_descriptions(self) -> None:

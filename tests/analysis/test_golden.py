@@ -29,13 +29,13 @@ def test_corpus_is_nonempty() -> None:
 
 
 def test_every_rule_has_fixture_coverage() -> None:
-    """All six RPR rules appear in at least one golden file."""
+    """All seven RPR rules appear in at least one golden file."""
     covered = set()
     for case in CASES:
         golden = expected_path(case)
         if golden.exists():
             for line in golden.read_text().splitlines():
-                for code in ("RPR00%d" % i for i in range(7)):
+                for code in ("RPR00%d" % i for i in range(8)):
                     if f" {code} " in line:
                         covered.add(code)
     assert {
@@ -46,6 +46,7 @@ def test_every_rule_has_fixture_coverage() -> None:
         "RPR004",
         "RPR005",
         "RPR006",
+        "RPR007",
     } <= covered
 
 

@@ -1,0 +1,160 @@
+"""Tests for the cluster membership authority (node lifecycle)."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig, NodeState
+from repro.errors import ConfigError, MembershipError
+from repro.sim import RandomStreams
+from repro.storage import Record
+
+
+def make_cluster(env, node_count=3, **kwargs):
+    return Cluster(env, ClusterConfig(node_count=node_count, **kwargs))
+
+
+class TestLifecycle:
+    def test_seed_nodes_start_active(self, env):
+        cluster = make_cluster(env)
+        assert all(n.state is NodeState.ACTIVE for n in cluster.nodes)
+        assert cluster.state_counts() == {
+            "joining": 0, "active": 3, "draining": 0, "retired": 0,
+        }
+
+    def test_add_node_joins_with_next_id(self, env):
+        cluster = make_cluster(env)
+        node = cluster.add_node()
+        assert node.node_id == 3
+        assert node.partition_id == 3
+        assert node.state is NodeState.JOINING
+        assert cluster.node(3) is node
+        assert cluster.node_for_partition(3) is node
+        assert cluster.state_of(3) is NodeState.JOINING
+
+    def test_full_lifecycle_walk(self, env):
+        cluster = make_cluster(env)
+        node = cluster.add_node()
+        cluster.activate(node.node_id)
+        assert node.state is NodeState.ACTIVE
+        cluster.begin_drain(node.node_id)
+        assert node.state is NodeState.DRAINING
+        cluster.retire(node.node_id)
+        assert node.state is NodeState.RETIRED
+        assert node.retired
+
+    def test_illegal_transitions_raise(self, env):
+        cluster = make_cluster(env)
+        node = cluster.add_node()
+        # JOINING node cannot drain or retire.
+        with pytest.raises(MembershipError):
+            cluster.begin_drain(node.node_id)
+        with pytest.raises(MembershipError):
+            cluster.retire(node.node_id)
+        # ACTIVE node cannot re-activate.
+        with pytest.raises(MembershipError):
+            cluster.activate(0)
+        cluster.activate(node.node_id)
+        cluster.begin_drain(node.node_id)
+        with pytest.raises(MembershipError):
+            cluster.begin_drain(node.node_id)
+        cluster.retire(node.node_id)
+        with pytest.raises(MembershipError):
+            cluster.retire(node.node_id)
+
+    def test_retire_refuses_while_tuples_resident(self, env):
+        cluster = make_cluster(env)
+        node = cluster.node(0)
+        node.store.insert(Record(key=7))
+        cluster.begin_drain(0)
+        with pytest.raises(MembershipError, match="still resident"):
+            cluster.retire(0)
+        node.store.delete(7)
+        cluster.retire(0)
+        assert node.state is NodeState.RETIRED
+
+    def test_unknown_node_id_raises(self, env):
+        cluster = make_cluster(env)
+        with pytest.raises(ConfigError):
+            cluster.state_of(99)
+
+
+class TestServingSets:
+    def test_partition_ids_exclude_retired_only(self, env):
+        cluster = make_cluster(env)
+        joiner = cluster.add_node()
+        cluster.begin_drain(0)
+        assert cluster.partition_ids == [0, 1, 2, 3]
+        cluster.retire(0)
+        assert cluster.partition_ids == [1, 2, 3]
+        assert joiner.partition_id in cluster.partition_ids
+
+    def test_placement_targets_are_active_and_joining(self, env):
+        cluster = make_cluster(env)
+        cluster.add_node()
+        cluster.begin_drain(1)
+        assert cluster.placement_partition_ids == [0, 2, 3]
+        cluster.retire(1)
+        assert cluster.placement_partition_ids == [0, 2, 3]
+
+    def test_capacity_excludes_retired(self, env):
+        cluster = make_cluster(env, capacity_units_per_s=10.0)
+        assert cluster.total_capacity_units_per_s == 30.0
+        cluster.add_node()
+        assert cluster.total_capacity_units_per_s == 40.0
+        cluster.begin_drain(0)
+        assert cluster.total_capacity_units_per_s == 40.0
+        cluster.retire(0)
+        assert cluster.total_capacity_units_per_s == 30.0
+
+    def test_nodes_in_filters_by_state(self, env):
+        cluster = make_cluster(env)
+        joiner = cluster.add_node()
+        cluster.begin_drain(2)
+        assert [n.node_id for n in cluster.nodes_in(NodeState.ACTIVE)] == [0, 1]
+        assert cluster.nodes_in(NodeState.JOINING) == [joiner]
+        assert [
+            n.node_id
+            for n in cluster.nodes_in(NodeState.ACTIVE, NodeState.JOINING)
+        ] == [0, 1, 3]
+
+
+class TestWiring:
+    def test_on_node_added_sees_fully_wired_node(self, env):
+        cluster = make_cluster(env)
+        seen = []
+        cluster.on_node_added.append(lambda node: seen.append(node))
+        node = cluster.add_node()
+        assert seen == [node]
+        assert cluster.node_for_partition(node.partition_id) is node
+
+    def test_joiner_gets_capacity_noise_stream(self, env):
+        streams = RandomStreams(7)
+        cluster = Cluster(
+            env,
+            ClusterConfig(node_count=2, capacity_noise_sigma=0.5,
+                          capacity_noise_interval_s=1.0),
+            streams,
+        )
+        node = cluster.add_node()
+        env.run(until=5)
+        assert node.server.rate != node.base_rate
+
+    def test_retire_stops_capacity_noise(self, env):
+        streams = RandomStreams(7)
+        cluster = Cluster(
+            env,
+            ClusterConfig(node_count=2, capacity_noise_sigma=0.5,
+                          capacity_noise_interval_s=1.0),
+            streams,
+        )
+        node = cluster.add_node()
+        cluster.activate(node.node_id)
+        cluster.begin_drain(node.node_id)
+        cluster.retire(node.node_id)
+        env.run(until=5)
+        assert node.server.rate == node.base_rate
+
+    def test_noise_without_streams_raises(self, env):
+        with pytest.raises(ConfigError, match="RandomStreams"):
+            Cluster(
+                env, ClusterConfig(node_count=2, capacity_noise_sigma=0.5)
+            )

@@ -102,10 +102,43 @@ def _routing_payload(**overrides):
     return base
 
 
+def _scale_payload(**overrides):
+    base = {
+        "recorded_at": "2026-08-08T00:00:00",
+        "python": "3.11.7",
+        "cpu_count": 1,
+        "tuple_count": 1_000_000,
+        "node_counts": [100, 250],
+        "rss_unit": "KB",
+        "build_wall_clock_s_by_nodes": {"100": 2.7, "250": 2.8},
+        "peak_rss_by_nodes": {"100": 181_948, "250": 192_340},
+        "route_read_per_s": 1_500_000,
+        "pinned_epoch_read_per_s": 1_300_000,
+        "epoch_publish_ms": 0.3,
+        "compact_bytes_per_tuple": 146.2,
+        "standard_bytes_per_tuple": 180.4,
+        "dense_map_bytes_per_key": 4.0,
+        "standard_map_bytes_per_key": 148.4,
+        "stack_bytes_ratio": 0.46,
+        "e2e_node_count": 100,
+        "e2e_tuple_count": 500_000,
+        "e2e_scheduler": "Hybrid",
+        "e2e_interval_s": 5.0,
+        "e2e_measure_intervals": 3,
+        "e2e_capacity_units_per_s": 8.0,
+        "e2e_throughput_txn_per_min": [1000.0, 1100.0, 1050.0],
+        "e2e_committed_total": 150,
+        "e2e_wall_clock_s": 120.0,
+    }
+    base.update(overrides)
+    return base
+
+
 class TestSchemaKinds:
     def test_kind_inferred_from_filename(self):
         assert kind_for_path("BENCH_engine.json") == "engine"
         assert kind_for_path("/ci/BENCH_routing.json") == "routing"
+        assert kind_for_path("BENCH_scale.json") == "scale"
         assert kind_for_path("BENCH_future_thing.json") == "generic"
         assert kind_for_path("results.json") == "generic"
 
@@ -137,6 +170,44 @@ class TestSchemaKinds:
             assert any(
                 "cpu_count" in p for p in validate_schema(payload, kind)
             ), kind
+
+    def test_committed_scale_baseline_passes(self):
+        committed = json.loads(
+            (_BENCHMARKS.parent / "BENCH_scale.json").read_text()
+        )
+        assert validate_schema(committed, "scale") == []
+
+    def test_scale_schema_requires_e2e_section(self):
+        """A scale file without the end-to-end run is rejected: the
+        dataset/routing numbers alone do not prove the simulation runs
+        at cluster scale."""
+        assert validate_schema(_scale_payload(), "scale") == []
+        payload = _scale_payload()
+        del payload["e2e_throughput_txn_per_min"]
+        assert any(
+            "e2e_throughput_txn_per_min" in p
+            for p in validate_schema(payload, "scale")
+        )
+
+    def test_scale_e2e_series_length_must_match_intervals(self):
+        payload = _scale_payload(e2e_measure_intervals=5)
+        assert any(
+            "e2e_throughput_txn_per_min" in p
+            for p in validate_schema(payload, "scale")
+        )
+
+    def test_scale_e2e_node_count_floor(self):
+        payload = _scale_payload(e2e_node_count=10)
+        assert any(
+            "e2e_node_count" in p for p in validate_schema(payload, "scale")
+        )
+
+    def test_scale_per_node_series_keys_must_match(self):
+        payload = _scale_payload(node_counts=[100, 250, 500])
+        assert any(
+            "build_wall_clock_s_by_nodes" in p
+            for p in validate_schema(payload, "scale")
+        )
 
     def test_generic_kind_ignores_extra_metrics(self):
         payload = {

@@ -131,18 +131,18 @@ class TestResultCache:
             config.with_overrides(scheduler="AfterAll")
         )
 
-    def test_schema_is_v3(self):
-        # The epoch-versioned-map refactor changed the stored interval
-        # layout (epoch_publishes / forwarded_reads / stale_route_retries)
-        # and the hashed config (stale_route_policy / epoch_log_limit).
-        assert CACHE_SCHEMA_VERSION == 3
+    def test_schema_is_v4(self):
+        # The elastic-membership refactor changed the stored interval
+        # layout (the per-state node census fields) and the hashed
+        # config (the elasticity schedule).
+        assert CACHE_SCHEMA_VERSION == 4
 
     def test_old_schema_entry_is_ignored_not_misserved(self, tmp_path):
-        """A v2-era entry under the same config must miss, not resurrect.
+        """A v3-era entry under the same config must miss, not resurrect.
 
-        Pre-v3 files are keyed by the old schema version in both the
+        Pre-v4 files are keyed by the old schema version in both the
         hashed payload and the filename prefix, so even a structurally
-        readable old entry can never be looked up by a v3 cache.
+        readable old entry can never be looked up by a v4 cache.
         """
         import json
 
@@ -150,30 +150,31 @@ class TestResultCache:
         cache = ResultCache(tmp_path)
         result = run_experiment(config)
 
-        # Recreate what a v2 cache would have written for this config:
-        # the old key mixes schema=2 into the hash and prefixes v2-.
+        # Recreate what a v3 cache would have written for this config:
+        # the old key mixes schema=3 into the hash and prefixes v3-.
         import dataclasses as dc
         import hashlib
 
         old_payload = json.dumps(
-            {"schema": 2, "config": dc.asdict(config)},
+            {"schema": 3, "config": dc.asdict(config)},
             sort_keys=True, separators=(",", ":"), default=repr,
         )
         old_key = hashlib.sha256(old_payload.encode("utf-8")).hexdigest()
-        old_path = tmp_path / f"v2-{old_key}.json"
+        old_path = tmp_path / f"v3-{old_key}.json"
         from repro.metrics.export import result_to_state_dict
 
         state = result_to_state_dict(result)
-        for interval in state["intervals"]:  # v2 records lacked the new fields
+        for interval in state["intervals"]:  # v3 records lacked the new fields
             for field_name in (
-                "epoch_publishes", "forwarded_reads", "stale_route_retries",
+                "nodes_joining", "nodes_active",
+                "nodes_draining", "nodes_retired",
             ):
                 interval.pop(field_name)
         old_path.write_text(json.dumps(state))
 
-        assert cache.get(config) is None  # v2 entry must not be served
+        assert cache.get(config) is None  # v3 entry must not be served
         assert cache.misses == 1
-        assert cache.path_for(config).name.startswith("v3-")
+        assert cache.path_for(config).name.startswith("v4-")
         assert old_path.exists()  # old entries are ignored, not deleted
 
     def test_repeat_get_served_from_memory(self, tmp_path):

@@ -1,0 +1,203 @@
+"""Chaos tests for elastic membership: the worst day in production.
+
+The cluster doubles and halves mid-run while nodes crash — including a
+node that is mid-drain.  Acceptance: N → 2N then 2N → N completes under
+every scheduler, every DRAINING node reaches zero resident tuples
+before RETIRED, drain migrations lost to a crash are requeued, the
+fault injector's last-live-node guard never counts departing members,
+and the whole composition stays bit-for-bit deterministic.
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig, NodeState
+from repro.elasticity import parse_elasticity_schedule
+from repro.experiments import (
+    SCHEDULER_NAMES,
+    bench_scale,
+    build_system,
+    run_cells,
+    run_experiment,
+    start_repartitioning,
+)
+from repro.faults import FaultInjector, parse_fault_schedule
+from repro.workload import WorkloadConfig
+
+#: Double the cluster (3 → 6) early, then drain the three joiners
+#: (2N → N) with time to finish before the 340 s horizon.
+ELASTICITY = "40:add:3,200:drain:3,200:drain:4,200:drain:5"
+
+
+def elastic_chaos_config(scheduler="Hybrid", elasticity=ELASTICITY,
+                         faults=None, seed=0, measure_intervals=16):
+    config = bench_scale(
+        scheduler=scheduler,
+        seed=seed,
+        measure_intervals=measure_intervals,
+        warmup_intervals=1,
+        faults=parse_fault_schedule(faults) if faults else None,
+        elasticity=(
+            parse_elasticity_schedule(elasticity) if elasticity else None
+        ),
+    )
+    return dataclasses.replace(
+        config,
+        cluster=ClusterConfig(node_count=3, capacity_units_per_s=4.0),
+        workload=WorkloadConfig(
+            tuple_count=200,
+            distinct_types=40,
+            distribution=config.workload.distribution,
+        ),
+    )
+
+
+def run_system(config):
+    system = build_system(config)
+    env = system.env
+    interval_s = config.runtime.interval_s
+    warmup_s = interval_s * config.runtime.warmup_intervals
+
+    def kickoff():
+        yield env.timeout(warmup_s)
+        start_repartitioning(system)
+
+    env.process(kickoff())
+    env.run(
+        until=warmup_s + interval_s * config.runtime.measure_intervals + 1e-9
+    )
+    return system
+
+
+def _assert_identical(first, second):
+    assert first.summary == second.summary
+    assert len(first.intervals) == len(second.intervals)
+    for a, b in zip(first.intervals, second.intervals):
+        assert dataclasses.asdict(a) == dataclasses.asdict(b)
+
+
+class TestScaleCycleUnderEachScheduler:
+    @pytest.mark.parametrize("scheduler", SCHEDULER_NAMES)
+    def test_double_then_halve_completes(self, scheduler):
+        system = run_system(elastic_chaos_config(scheduler))
+        controller = system.elasticity_controller
+        assert controller is not None
+        assert controller.quiescent
+        assert controller.nodes_added == 3
+        assert controller.nodes_retired == 3
+        sizes = system.store.partition_sizes()
+        for node_id in (3, 4, 5):
+            node = system.cluster.node(node_id)
+            assert node.state is NodeState.RETIRED
+            assert len(node.store) == 0
+            assert sizes.get(node.partition_id, 0) == 0
+        # The original three keep serving.
+        assert system.cluster.placement_partition_ids == [0, 1, 2]
+        assert system.metrics.intervals[-1].committed > 0
+
+
+class TestCrashDuringDrain:
+    def test_draining_node_crash_requeues_migrations(self):
+        # Node 3 joins at 40 s, starts draining at 200 s, crashes at
+        # 210 s (mid-drain) and comes back at 250 s.  Its unfinished
+        # drain migrations abort with the node, are requeued, and the
+        # drain still completes before the horizon.
+        system = run_system(
+            elastic_chaos_config(
+                elasticity="40:add:1,200:drain:3",
+                faults="210:crash:3,250:restart:3",
+            )
+        )
+        assert system.fault_injector is not None
+        assert system.fault_injector.crashes == 1
+        node = system.cluster.node(3)
+        assert node.state is NodeState.RETIRED
+        assert len(node.store) == 0
+        assert system.store.partition_sizes().get(node.partition_id, 0) == 0
+        controller = system.elasticity_controller
+        assert controller.quiescent
+        assert controller.nodes_retired == 1
+
+    def test_late_joiner_faces_stochastic_faults(self):
+        # MTBF low enough that six nodes over 300+ s see crashes; the
+        # late joiners are watched too (watch_node on add).
+        system = run_system(
+            elastic_chaos_config(
+                elasticity="40:add:3",
+                faults="mtbf=120,mttr=10",
+            )
+        )
+        assert system.fault_injector is not None
+        assert system.fault_injector.crashes > 0
+        assert system.metrics.intervals[-1].committed > 0
+
+
+class TestLastLiveNodeGuard:
+    def test_draining_nodes_not_counted_as_live(self, env):
+        cluster = Cluster(
+            env, ClusterConfig(node_count=2, capacity_units_per_s=4.0)
+        )
+        cluster.begin_drain(1)
+        injector = FaultInjector(
+            env,
+            cluster,
+            parse_fault_schedule("10:crash:0"),
+            rng=random.Random(0),
+        )
+        injector.start()
+        env.run(until=20)
+        # Node 0 is the last full member (node 1 is DRAINING): the
+        # guard must refuse the crash rather than leave only departing
+        # members serving.
+        assert not cluster.node(0).is_down
+        assert injector.crashes == 0
+        assert injector.skipped == 1
+
+    def test_retired_nodes_not_counted_and_not_crashed(self, env):
+        cluster = Cluster(
+            env, ClusterConfig(node_count=3, capacity_units_per_s=4.0)
+        )
+        cluster.begin_drain(1)
+        cluster.retire(1)
+        injector = FaultInjector(
+            env,
+            cluster,
+            parse_fault_schedule("10:crash:1,15:crash:2,20:crash:0"),
+            rng=random.Random(0),
+        )
+        injector.start()
+        env.run(until=30)
+        # Crashing the RETIRED node is refused outright; with it out of
+        # the count, nodes 0 and 2 are the only live members, so one
+        # crash lands and the next is refused as last-live.
+        assert not cluster.node(1).is_down
+        assert injector.crashes == 1
+        assert injector.skipped == 2
+        assert not cluster.node(0).is_down
+
+
+class TestDeterminismUnderComposition:
+    def test_same_seed_bit_identical(self):
+        config = elastic_chaos_config(
+            elasticity="40:add:1,200:drain:3",
+            faults="210:crash:3,250:restart:3",
+            measure_intervals=14,
+        )
+        _assert_identical(run_experiment(config), run_experiment(config))
+
+    def test_parallel_matches_serial_bit_for_bit(self):
+        configs = [
+            elastic_chaos_config(
+                scheduler,
+                elasticity="40:add:1,200:drain:3",
+                faults="210:crash:3,250:restart:3",
+                measure_intervals=14,
+            )
+            for scheduler in ("AfterAll", "Piggyback")
+        ]
+        serial = run_cells(configs, jobs=1)
+        parallel = run_cells(configs, jobs=2)
+        for a, b in zip(serial, parallel):
+            _assert_identical(a, b)
